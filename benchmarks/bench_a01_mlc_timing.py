@@ -1,0 +1,53 @@
+"""A1 (ablation) - device-technology robustness: SLC vs MLC timing.
+
+The paper evaluates on SLC-class constants.  This ablation re-runs the
+random-write comparison under an MLC profile (slower programs and erases)
+and checks that the scheme ranking - the reproduced result - is a property
+of the designs, not of one timing model.
+"""
+
+from repro.flash import MLC_TIMING, SLC_TIMING
+from repro.sim import DeviceSpec, compare_schemes
+from repro.sim.report import format_series
+from repro.traces import uniform_random
+
+from conftest import emit
+
+SCHEMES = ("DFTL", "LazyFTL", "ideal")
+N = 12000
+
+
+def run_experiment():
+    out = {}
+    for label, timing in (("SLC", SLC_TIMING), ("MLC", MLC_TIMING)):
+        device = DeviceSpec(num_blocks=512, pages_per_block=64,
+                            page_size=512, logical_fraction=0.8,
+                            timing=timing)
+        trace = uniform_random(N, int(device.logical_pages * 0.8), seed=0,
+                               name="random")
+        out[label] = compare_schemes(trace, schemes=SCHEMES, device=device,
+                                     precondition="steady")
+    return out
+
+
+def test_a01_mlc_timing(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    series = {
+        s: [results[t][s].mean_response_us for t in ("SLC", "MLC")]
+        for s in SCHEMES
+    }
+    text = format_series(
+        "scheme \\ technology", ["SLC", "MLC"], series,
+        title=f"A1: mean response (us) under SLC vs MLC timing "
+              f"({N} random writes)",
+    )
+    emit("a01_mlc_timing", text)
+
+    for tech in ("SLC", "MLC"):
+        r = results[tech]
+        assert r["LazyFTL"].mean_response_us <= \
+            r["DFTL"].mean_response_us * 1.05
+        assert r["ideal"].mean_response_us <= r["LazyFTL"].mean_response_us
+    # MLC is uniformly slower in absolute terms.
+    assert results["MLC"]["LazyFTL"].mean_response_us > \
+        results["SLC"]["LazyFTL"].mean_response_us

@@ -1,0 +1,57 @@
+"""A3 (ablation) - the extra baselines (LAST, superblock) under locality.
+
+LAST (Lee et al. 2008) refines FAST with hot/cold-split log buffers that
+reclaim dead blocks for free; the superblock FTL (Kang et al. 2006) keeps
+page-level mapping inside small groups.  This ablation places both between
+FAST and the global page-mapping schemes on a skewed workload - better
+than FAST where locality exists, still far from LazyFTL.
+"""
+
+from repro.sim import HEADLINE_DEVICE, compare_schemes
+from repro.sim.report import format_table
+from repro.traces import hot_cold
+
+from conftest import N_REQUESTS, emit
+
+SCHEMES = ("FAST", "LAST", "superblock", "LazyFTL", "ideal")
+
+
+def run_experiment():
+    footprint = int(HEADLINE_DEVICE.logical_pages * 0.8)
+    trace = hot_cold(N_REQUESTS, footprint, hot_fraction=0.004,
+                     hot_probability=0.9, seed=0, name="hot-cold-90/0.4")
+    return compare_schemes(trace, schemes=SCHEMES, device=HEADLINE_DEVICE,
+                           precondition="steady")
+
+
+def test_a03_last_baseline(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = []
+    for scheme in SCHEMES:
+        r = results[scheme]
+        rows.append([
+            scheme,
+            r.mean_response_us,
+            int(r.erases),
+            r.ftl_stats.merges_full,
+            r.ftl_stats.merge_page_copies,
+        ])
+    text = format_table(
+        ["scheme", "mean_us", "erases", "full merges", "merge copies"],
+        rows,
+        title=f"A3: LAST vs FAST vs LazyFTL, 90/0.4 hot-spot workload "
+              f"({N_REQUESTS} requests)",
+    )
+    emit("a03_last_baseline", text)
+
+    # LAST and superblock exploit locality better than FAST...
+    assert results["LAST"].mean_response_us < \
+        results["FAST"].mean_response_us
+    assert results["superblock"].mean_response_us < \
+        results["FAST"].mean_response_us
+    # ...but every locally-scoped scheme stays behind LazyFTL.
+    assert results["LazyFTL"].mean_response_us < \
+        results["LAST"].mean_response_us / 2
+    assert results["LazyFTL"].mean_response_us < \
+        results["superblock"].mean_response_us
+    assert results["LazyFTL"].ftl_stats.merges_total == 0

@@ -1,0 +1,62 @@
+"""E4 - Figure: block erase counts per scheme per workload.
+
+Erases are the lifetime currency of flash: merge-based reclamation makes
+BAST/FAST erase an order of magnitude more blocks than the page-mapping
+schemes for the same host work; LazyFTL tracks the ideal scheme.
+"""
+
+from repro.sim import HEADLINE_DEVICE, compare_schemes
+from repro.sim.report import format_series
+from repro.traces import financial1, sequential, uniform_random
+
+from conftest import N_REQUESTS, emit
+
+SCHEMES = ("BAST", "FAST", "DFTL", "LazyFTL", "ideal")
+
+
+def run_grid():
+    footprint = int(HEADLINE_DEVICE.logical_pages * 0.8)
+    traces = [
+        uniform_random(N_REQUESTS, footprint, seed=0, name="random"),
+        financial1(N_REQUESTS, footprint, seed=0),
+        sequential(N_REQUESTS, footprint, request_pages=4, seed=0,
+                   name="sequential"),
+    ]
+    return {
+        t.name: compare_schemes(t, schemes=SCHEMES, device=HEADLINE_DEVICE,
+                                precondition="steady")
+        for t in traces
+    }
+
+
+def test_e04_erase_counts(benchmark):
+    grid = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    trace_names = list(grid)
+    erases = {
+        s: [float(grid[t][s].erases) for t in trace_names] for s in SCHEMES
+    }
+    copies = {
+        s: [
+            float(grid[t][s].ftl_stats.gc_page_copies
+                  + grid[t][s].ftl_stats.merge_page_copies)
+            for t in trace_names
+        ]
+        for s in SCHEMES
+    }
+    text = format_series(
+        "scheme \\ trace", trace_names, erases,
+        title="E4: block erases per scheme per workload "
+              f"({N_REQUESTS} requests)",
+        y_format="{:,.0f}",
+    )
+    text += "\n\n" + format_series(
+        "scheme \\ trace", trace_names, copies,
+        title="valid-page copies (GC + merge)",
+        y_format="{:,.0f}",
+    )
+    emit("e04_erase_counts", text)
+
+    for t in ("random", "financial1"):
+        assert grid[t]["LazyFTL"].erases < grid[t]["BAST"].erases
+        assert grid[t]["LazyFTL"].erases < grid[t]["FAST"].erases
+        assert grid[t]["LazyFTL"].erases <= grid[t]["DFTL"].erases * 1.2

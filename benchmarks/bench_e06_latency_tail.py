@@ -1,0 +1,54 @@
+"""E6 - Figure: response-time distribution (percentiles / CDF).
+
+Mean response times hide the merge stalls; the tail shows them.  FAST's
+full merges produce multi-hundred-millisecond worst cases; LazyFTL's worst
+case stays within a small multiple of a GC pass - the "low response
+latency" claim.
+"""
+
+from repro.sim import HEADLINE_DEVICE, compare_schemes
+from repro.sim.report import format_table
+from repro.traces import uniform_random
+
+from conftest import N_REQUESTS, emit
+
+SCHEMES = ("BAST", "FAST", "DFTL", "LazyFTL", "ideal")
+
+
+def run_experiment():
+    footprint = int(HEADLINE_DEVICE.logical_pages * 0.8)
+    trace = uniform_random(N_REQUESTS, footprint, seed=0, name="random")
+    return compare_schemes(trace, schemes=SCHEMES, device=HEADLINE_DEVICE,
+                           precondition="steady")
+
+
+def test_e06_latency_tail(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = []
+    for scheme in SCHEMES:
+        d = results[scheme].responses.overall
+        rows.append([
+            scheme,
+            d.percentile(50),
+            d.percentile(95),
+            d.percentile(99),
+            d.percentile(99.9),
+            d.max,
+        ])
+    text = format_table(
+        ["scheme", "p50_us", "p95_us", "p99_us", "p99.9_us", "max_us"],
+        rows,
+        title=f"E6: response-time percentiles, {N_REQUESTS} random writes",
+    )
+    text += "\n\nCDF tail (fraction of requests slower than 10 ms):\n"
+    for scheme in SCHEMES:
+        d = results[scheme].responses.overall
+        slow = sum(1 for v, _ in d.cdf_points(1000) if v > 10_000) / 1000
+        text += f"  {scheme:8s} {slow:6.1%}\n"
+    emit("e06_latency_tail", text)
+
+    fast_max = results["FAST"].responses.overall.max
+    lazy_max = results["LazyFTL"].responses.overall.max
+    assert fast_max > lazy_max * 3, "FAST must show merge stalls"
+    assert results["LazyFTL"].responses.overall.percentile(99) <= \
+        results["BAST"].responses.overall.percentile(99)

@@ -1,0 +1,61 @@
+"""E7 - Figure: sensitivity to the update block area size (m_u).
+
+A larger UBA defers more mapping commits, enlarging conversion batches
+(fewer GMT writes per host write) at the cost of RAM for the UMT.  The
+curve should fall with m_u and flatten - the knob trades RAM for
+translation overhead, never correctness.
+"""
+
+from repro.sim import HEADLINE_DEVICE, default_lazy_config, sweep
+from repro.sim.report import format_series
+from repro.traces import uniform_random
+
+from conftest import N_REQUESTS, emit
+
+UBA_SIZES = (4, 8, 16, 32, 64)
+
+
+def run_sweep():
+    footprint = int(HEADLINE_DEVICE.logical_pages * 0.8)
+    trace = uniform_random(N_REQUESTS, footprint, seed=0, name="random")
+    return sweep(
+        "LazyFTL",
+        trace_of=lambda m_u: trace,
+        parameter_values=UBA_SIZES,
+        options_of=lambda m_u: {
+            "config": default_lazy_config(uba_blocks=m_u, cba_blocks=4)
+        },
+        device_of=lambda m_u: HEADLINE_DEVICE,
+        precondition="steady",
+    )
+
+
+def test_e07_uba_size(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    series = {
+        "mean response (us)": [r.mean_response_us for r in results],
+        "map writes": [float(r.ftl_stats.map_writes) for r in results],
+        "commits per map write": [
+            r.ftl_stats.batched_commits / max(1, r.ftl_stats.map_writes)
+            for r in results
+        ],
+        "UMT RAM (KiB)": [
+            (uba + 4) * HEADLINE_DEVICE.pages_per_block * 8 / 1024
+            for uba in UBA_SIZES
+        ],
+    }
+    text = format_series(
+        "metric \\ m_u", list(UBA_SIZES), series,
+        title="E7: LazyFTL sensitivity to UBA size "
+              f"({N_REQUESTS} random writes)",
+    )
+    emit("e07_uba_size", text)
+
+    # Larger UBA -> more batching -> fewer mapping writes.
+    map_writes = [r.ftl_stats.map_writes for r in results]
+    assert map_writes[-1] < map_writes[0]
+    batch = [r.ftl_stats.batched_commits / max(1, r.ftl_stats.map_writes)
+             for r in results]
+    assert batch[-1] > batch[0]
+    # And the response-time trend improves (allowing small noise).
+    assert results[-1].mean_response_us < results[0].mean_response_us * 1.02

@@ -1,0 +1,90 @@
+"""E10 - Figure: scalability with device size and utilisation.
+
+Two sweeps: (a) growing device capacity at fixed utilisation - LazyFTL's
+response time and RAM stay flat while the ideal FTL's RAM explodes;
+(b) growing utilisation (logical fraction) at fixed capacity - everyone's
+GC gets more expensive, LazyFTL degrades like the ideal scheme, without
+merge cliffs.
+"""
+
+from repro.sim import DeviceSpec, compare_schemes
+from repro.sim.report import format_series
+from repro.traces import uniform_random
+
+from conftest import emit
+
+CAPACITY_BLOCKS = (256, 512, 1024)
+UTILISATIONS = (0.70, 0.80, 0.88)
+N = 12000
+
+
+def run_capacity_sweep():
+    out = {}
+    for blocks in CAPACITY_BLOCKS:
+        device = DeviceSpec(num_blocks=blocks, pages_per_block=64,
+                            page_size=512, logical_fraction=0.8)
+        trace = uniform_random(N, int(device.logical_pages * 0.8), seed=0,
+                               name="random")
+        out[blocks] = compare_schemes(
+            trace, schemes=("DFTL", "LazyFTL", "ideal"), device=device,
+            precondition="steady",
+        )
+    return out
+
+
+def run_utilisation_sweep():
+    out = {}
+    for fraction in UTILISATIONS:
+        device = DeviceSpec(num_blocks=512, pages_per_block=64,
+                            page_size=512, logical_fraction=fraction)
+        trace = uniform_random(N, int(device.logical_pages * 0.8), seed=0,
+                               name="random")
+        out[fraction] = compare_schemes(
+            trace, schemes=("DFTL", "LazyFTL", "ideal"), device=device,
+            precondition="steady",
+        )
+    return out
+
+
+def test_e10_scalability(benchmark):
+    capacity, utilisation = benchmark.pedantic(
+        lambda: (run_capacity_sweep(), run_utilisation_sweep()),
+        rounds=1, iterations=1,
+    )
+    cap_series = {
+        f"{s} mean (us)": [capacity[b][s].mean_response_us
+                           for b in CAPACITY_BLOCKS]
+        for s in ("DFTL", "LazyFTL", "ideal")
+    }
+    cap_series["LazyFTL RAM (KiB)"] = [
+        capacity[b]["LazyFTL"].ram_bytes / 1024 for b in CAPACITY_BLOCKS
+    ]
+    cap_series["ideal RAM (KiB)"] = [
+        capacity[b]["ideal"].ram_bytes / 1024 for b in CAPACITY_BLOCKS
+    ]
+    text = format_series(
+        "metric \\ device blocks", list(CAPACITY_BLOCKS), cap_series,
+        title=f"E10a: capacity sweep ({N} random writes, 80% utilised)",
+    )
+    util_series = {
+        f"{s} mean (us)": [utilisation[u][s].mean_response_us
+                           for u in UTILISATIONS]
+        for s in ("DFTL", "LazyFTL", "ideal")
+    }
+    text += "\n\n" + format_series(
+        "metric \\ logical fraction", [f"{u:.2f}" for u in UTILISATIONS],
+        util_series,
+        title="E10b: utilisation sweep (512-block device)",
+    )
+    emit("e10_scalability", text)
+
+    # RAM scalability: ideal grows with capacity, LazyFTL stays near-flat.
+    ideal_ram = [capacity[b]["ideal"].ram_bytes for b in CAPACITY_BLOCKS]
+    lazy_ram = [capacity[b]["LazyFTL"].ram_bytes for b in CAPACITY_BLOCKS]
+    assert ideal_ram[-1] / ideal_ram[0] > 3.5
+    assert lazy_ram[-1] / lazy_ram[0] < 3.5
+    # LazyFTL keeps tracking the optimum as the device grows.
+    for b in CAPACITY_BLOCKS:
+        gap = capacity[b]["LazyFTL"].mean_response_us / \
+            capacity[b]["ideal"].mean_response_us
+        assert gap < 1.8

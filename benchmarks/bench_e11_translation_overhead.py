@@ -1,0 +1,70 @@
+"""E11 - Table: translation (mapping-update) overhead and ablations.
+
+Breaks LazyFTL's mapping traffic down and ablates the design choices
+DESIGN.md calls out:
+
+* **global batching** (commit all UMT entries of a GMT page together) -
+  the mechanism that amortises conversion cost;
+* the optional **GMT page cache** extension (off in the base design).
+"""
+
+from repro.sim import HEADLINE_DEVICE, default_lazy_config, run_scheme
+from repro.sim.report import format_table
+from repro.traces import financial1
+
+from conftest import N_REQUESTS, emit
+
+VARIANTS = (
+    ("base (global batching)", {}),
+    ("no global batching", {"global_batching": False}),
+    ("with 64-page GMT cache", {"map_cache_pages": 64}),
+    ("cheapest-convert policy", {"convert_policy": "cheapest"}),
+)
+
+
+def run_variants():
+    footprint = int(HEADLINE_DEVICE.logical_pages * 0.8)
+    trace = financial1(N_REQUESTS, footprint, seed=0)
+    results = []
+    for label, overrides in VARIANTS:
+        config = default_lazy_config(uba_blocks=32, cba_blocks=4,
+                                     **overrides)
+        results.append((
+            label,
+            run_scheme("LazyFTL", trace, device=HEADLINE_DEVICE,
+                       precondition="steady", config=config),
+        ))
+    return results
+
+
+def test_e11_translation_overhead(benchmark):
+    results = benchmark.pedantic(run_variants, rounds=1, iterations=1)
+    rows = []
+    for label, r in results:
+        s = r.ftl_stats
+        rows.append([
+            label,
+            r.mean_response_us,
+            s.map_reads,
+            s.map_writes,
+            s.batched_commits / max(1, s.map_writes),
+            s.converts,
+        ])
+    text = format_table(
+        ["variant", "mean_us", "map reads", "map writes",
+         "commits/map write", "conversions"],
+        rows,
+        title=f"E11: LazyFTL translation overhead, financial1 "
+              f"({N_REQUESTS} requests)",
+    )
+    emit("e11_translation_overhead", text)
+
+    by_label = dict(results)
+    base = by_label["base (global batching)"]
+    unbatched = by_label["no global batching"]
+    cached = by_label["with 64-page GMT cache"]
+    # Global batching must reduce mapping writes substantially.
+    assert base.ftl_stats.map_writes < unbatched.ftl_stats.map_writes * 0.8
+    assert base.mean_response_us <= unbatched.mean_response_us
+    # The cache extension removes repeat GMT reads.
+    assert cached.ftl_stats.map_reads < base.ftl_stats.map_reads

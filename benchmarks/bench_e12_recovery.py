@@ -1,0 +1,88 @@
+"""E12 - Table: crash recovery cost and correctness.
+
+Exercises the paper's basic recovery design: periodic checkpoints, power
+loss at random points in a random-write workload, recovery by checkpoint +
+bounded OOB scan.  Reports scan cost as a function of checkpoint cadence
+and verifies zero acknowledged-write loss at every crash point.
+"""
+
+import random
+
+from repro.core import LazyConfig, LazyFTL, recover
+from repro.flash import FlashGeometry, NandFlash, PowerLossError
+from repro.sim.report import format_table
+
+from conftest import emit
+
+INTERVALS = (500, 2000, 8000)
+CRASHES_PER_INTERVAL = 3
+
+
+def run_crashes():
+    rows = []
+    losses = 0
+    for interval in INTERVALS:
+        for crash_seed in range(CRASHES_PER_INTERVAL):
+            flash = NandFlash(FlashGeometry(num_blocks=256,
+                                            pages_per_block=64,
+                                            page_size=2048))
+            logical = int(flash.geometry.total_pages * 0.8)
+            config = LazyConfig(uba_blocks=8, cba_blocks=4,
+                                checkpoint_interval=interval)
+            ftl = LazyFTL(flash, logical, config)
+            rng = random.Random(crash_seed)
+            acknowledged = {}
+            flash.fault.arm_after_programs(rng.randrange(6000, 25000))
+            attempts = 0
+            inflight = None
+            try:
+                while True:
+                    lpn = rng.randrange(logical)
+                    inflight = (lpn, (lpn, attempts))
+                    attempts += 1
+                    ftl.write(lpn, (lpn, attempts - 1))
+                    acknowledged[lpn] = (lpn, attempts - 1)
+            except PowerLossError:
+                pass
+            recovered, report = recover(flash, logical, config)
+            lost = 0
+            for lpn, value in acknowledged.items():
+                got = recovered.read(lpn).data
+                ok = got == value or (
+                    inflight is not None and lpn == inflight[0]
+                    and got == (lpn, inflight[1][1])
+                )
+                if not ok:
+                    lost += 1
+            losses += lost
+            rows.append([
+                interval,
+                crash_seed,
+                attempts - 1,
+                report.pages_read,
+                report.blocks_fully_scanned,
+                report.umt_entries_rebuilt,
+                report.latency_us / 1000.0,
+                lost,
+            ])
+    return rows, losses
+
+
+def test_e12_recovery(benchmark):
+    rows, losses = benchmark.pedantic(run_crashes, rounds=1, iterations=1)
+    text = format_table(
+        ["ckpt interval", "seed", "acknowledged writes", "pages read",
+         "blocks scanned", "UMT rebuilt", "recovery ms", "writes lost"],
+        rows,
+        title="E12: crash recovery cost and correctness "
+              "(256-block / 32 MiB device)",
+    )
+    emit("e12_recovery", text)
+
+    assert losses == 0, "recovery lost acknowledged writes"
+    # More frequent checkpoints keep recovery scans cheaper on average.
+    by_interval = {}
+    for row in rows:
+        by_interval.setdefault(row[0], []).append(row[3])
+    mean_reads = {k: sum(v) / len(v) for k, v in by_interval.items()}
+    assert mean_reads[INTERVALS[0]] <= mean_reads[INTERVALS[-1]] * 1.6

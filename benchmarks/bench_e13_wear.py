@@ -1,0 +1,74 @@
+"""E13 - Figure: wear leveling - erase-count distributions per scheme.
+
+Compares how evenly each scheme spreads erases under a skewed workload,
+and the effect of LazyFTL's static wear-leveling extension (erase spread
+and write-amplification trade-off).
+"""
+
+from repro.analysis import wear_profile
+from repro.core import ANCHOR_BLOCKS
+from repro.sim import (
+    HEADLINE_DEVICE,
+    DeviceSpec,
+    compare_schemes,
+    default_lazy_config,
+    run_scheme,
+)
+from repro.sim.report import format_table
+from repro.traces import hot_cold
+
+from conftest import N_REQUESTS, emit
+
+DEVICE = DeviceSpec(num_blocks=512, pages_per_block=64, page_size=512,
+                    logical_fraction=0.8)
+
+
+def run_experiment():
+    footprint = int(DEVICE.logical_pages * 0.8)
+    trace = hot_cold(N_REQUESTS, footprint, hot_fraction=0.1,
+                     hot_probability=0.9, seed=0, name="hot-cold-90/10")
+    results = compare_schemes(
+        trace, schemes=("DFTL", "LazyFTL", "ideal"), device=DEVICE,
+        precondition="steady",
+    )
+    leveled = run_scheme(
+        "LazyFTL", trace, device=DEVICE, precondition="steady",
+        config=default_lazy_config(uba_blocks=16, cba_blocks=4,
+                                   wear_threshold=8),
+    )
+    return results, leveled
+
+
+def test_e13_wear(benchmark):
+    results, leveled = benchmark.pedantic(run_experiment, rounds=1,
+                                          iterations=1)
+    rows = []
+    for label, result in list(results.items()) + [
+        ("LazyFTL + wear leveling", leveled)
+    ]:
+        w = result.wear
+        rows.append([
+            label,
+            int(w["min"]),
+            int(w["max"]),
+            round(w["cv"], 3),
+            int(w["total"]),
+            result.ftl_stats.gc_page_copies,
+        ])
+    text = format_table(
+        ["scheme", "min erase", "max erase", "erase CV", "total erases",
+         "gc copies"],
+        rows,
+        title=f"E13: wear under a 90/10 hot-spot workload "
+              f"({N_REQUESTS} writes)",
+    )
+    emit("e13_wear", text)
+
+    # The wear-leveled variant must narrow the erase spread.
+    base_cv = results["LazyFTL"].wear["cv"]
+    leveled_cv = leveled.wear["cv"]
+    assert leveled_cv <= base_cv * 1.05
+    leveled_spread = leveled.wear["max"] - leveled.wear["min"]
+    base_spread = results["LazyFTL"].wear["max"] - \
+        results["LazyFTL"].wear["min"]
+    assert leveled_spread <= base_spread

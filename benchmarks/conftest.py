@@ -1,0 +1,71 @@
+"""Shared infrastructure for the experiment benchmarks (E1..E13).
+
+Every benchmark:
+
+* runs its experiment once inside ``benchmark.pedantic`` (the wall-clock
+  number pytest-benchmark reports is the *simulator's* cost, not the
+  simulated device's - simulated times are in the printed tables);
+* emits the paper-style table/series it reproduces via :func:`emit`,
+  which persists it under ``benchmarks/results/<experiment>.txt`` and
+  echoes every block in the terminal summary (so it appears in captured
+  bench logs);
+* asserts the qualitative *shape* the paper reports.
+"""
+
+import pathlib
+import sys
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+#: Request count for the headline runs; sized so the whole bench suite
+#: finishes in minutes of wall-clock while still reaching steady-state GC.
+N_REQUESTS = 20000
+
+_EMITTED = []
+
+
+def emit(experiment: str, text: str) -> None:
+    """Record a result block: print, persist, and queue for the summary."""
+    print(f"\n===== {experiment} =====\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(text + "\n")
+    _EMITTED.append((experiment, text))
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Echo all experiment tables after the benchmark table."""
+    if not _EMITTED:
+        return
+    write = terminalreporter.write_line
+    write("")
+    write("=" * 72)
+    write("experiment outputs (also saved under benchmarks/results/)")
+    write("=" * 72)
+    for experiment, text in _EMITTED:
+        write(f"\n----- {experiment} -----")
+        for line in text.splitlines():
+            write(line)
+
+
+def headline_traces(footprint: int):
+    """The five workloads of the headline comparison (E3/E4)."""
+    from repro.traces import (
+        financial1,
+        financial2,
+        sequential,
+        tpcc,
+        uniform_random,
+    )
+
+    return [
+        uniform_random(N_REQUESTS, footprint, seed=0, name="random"),
+        sequential(N_REQUESTS, footprint, request_pages=4, seed=0,
+                   name="sequential"),
+        financial1(N_REQUESTS, footprint, seed=0),
+        financial2(N_REQUESTS, footprint, seed=0),
+        tpcc(N_REQUESTS, footprint, seed=0),
+    ]

@@ -1,0 +1,83 @@
+"""Crash-recovery scenario: kill the power mid-workload, rebuild, verify.
+
+Demonstrates the paper's recovery design end-to-end: periodic checkpoints
+to the anchor blocks, a simulated power loss at a random point, recovery by
+checkpoint + OOB scan, and a full verification that every acknowledged
+write survived.
+
+Run:  python examples/crash_recovery.py [seed]
+"""
+
+import random
+import sys
+
+from repro import (
+    FlashGeometry,
+    LazyConfig,
+    LazyFTL,
+    NandFlash,
+    PowerLossError,
+    recover,
+)
+
+
+def main(seed: int = 42) -> None:
+    flash = NandFlash(FlashGeometry(num_blocks=256, pages_per_block=64,
+                                    page_size=2048))
+    config = LazyConfig(uba_blocks=8, cba_blocks=4, checkpoint_interval=2000)
+    logical = int(flash.geometry.total_pages * 0.8)
+    ftl = LazyFTL(flash, logical, config)
+    rng = random.Random(seed)
+
+    print(f"writing with a power fault armed (seed {seed})...")
+    flash.fault.arm_after_programs(rng.randrange(5000, 20000))
+    acknowledged = {}
+    attempts = 0
+    try:
+        while True:
+            lpn = rng.randrange(logical)
+            value = (lpn, attempts)
+            attempts += 1
+            ftl.write(lpn, value)
+            acknowledged[lpn] = value
+    except PowerLossError:
+        pass
+    print(f"power lost after {attempts - 1} acknowledged writes "
+          f"({len(acknowledged)} distinct pages); RAM state is gone.\n")
+
+    recovered, report = recover(flash, logical, config)
+    print("recovery report:")
+    print(f"  checkpoint found:      {report.checkpoint_found} "
+          f"(seq {report.checkpoint_seq})")
+    print(f"  blocks fully scanned:  {report.blocks_fully_scanned} "
+          f"of {flash.geometry.num_blocks}")
+    print(f"  blocks probed (1 pg):  {report.blocks_probed}")
+    print(f"  flash pages read:      {report.pages_read}")
+    print(f"  UMT entries rebuilt:   {report.umt_entries_rebuilt}")
+    print(f"  simulated time:        {report.latency_us / 1000:.1f} ms\n")
+
+    losses = 0
+    inflight_lpn = None
+    for lpn, value in acknowledged.items():
+        got = recovered.read(lpn).data
+        if got != value:
+            # The single unacknowledged in-flight write may legally appear.
+            if got == (lpn, attempts - 1):
+                inflight_lpn = lpn
+                continue
+            losses += 1
+            print(f"  LOST lpn {lpn}: read {got!r}, expected {value!r}")
+    verdict = "PASS" if losses == 0 else "FAIL"
+    print(f"verification: {verdict} - {len(acknowledged)} pages checked, "
+          f"{losses} lost"
+          + (f", 1 in-flight write persisted (lpn {inflight_lpn})"
+             if inflight_lpn is not None else ""))
+
+    # The recovered instance is fully operational:
+    recovered.write(0, "life goes on")
+    assert recovered.read(0).data == "life goes on"
+    print("post-recovery writes work; the device is back in service.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 42)

@@ -1,0 +1,54 @@
+"""Search-engine scenario: a read-dominant Websearch-like workload.
+
+Reads exercise the translation-fetch path: the ideal FTL answers from RAM,
+DFTL from its CMT (missing to flash), LazyFTL from the UMT/GMT.  With an
+SPC-format trace file (e.g. the UMass ``WebSearch1.spc``) as argument the
+real trace is replayed instead of the synthetic equivalent.
+
+Run:  python examples/websearch_replay.py [trace.spc]
+"""
+
+import sys
+
+from repro.analysis import COMPARISON_HEADERS, comparison_rows
+from repro.sim import HEADLINE_DEVICE, compare_schemes
+from repro.sim.report import format_table
+from repro.traces import characterize, parse_spc_file, websearch
+
+
+def load_trace(argv):
+    if len(argv) > 1:
+        print(f"replaying real SPC trace {argv[1]}")
+        return parse_spc_file(
+            argv[1],
+            page_size=HEADLINE_DEVICE.page_size,
+            max_requests=50000,
+        )
+    footprint = int(HEADLINE_DEVICE.logical_pages * 0.9)
+    return websearch(10000, footprint_pages=footprint, seed=3)
+
+
+def main() -> None:
+    trace = load_trace(sys.argv)
+    c = characterize(trace)
+    print(f"workload: {trace.name} - {c['requests']} requests, "
+          f"{c['write_ratio']:.1%} writes, mean request "
+          f"{c['mean_request_pages']:.1f} pages\n")
+
+    results = compare_schemes(
+        trace,
+        schemes=("DFTL", "LazyFTL", "ideal"),
+        device=HEADLINE_DEVICE,
+    )
+    print(format_table(COMPARISON_HEADERS, comparison_rows(results),
+                       title="Websearch-like read-heavy workload"))
+
+    print("\nper-read translation overhead (mapping-page reads / host reads):")
+    for scheme in ("DFTL", "LazyFTL"):
+        r = results[scheme]
+        ratio = r.ftl_stats.map_reads / max(1, r.ftl_stats.host_reads)
+        print(f"  {scheme:8s} {ratio:5.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that editable installs work in offline
+environments whose pip lacks the ``wheel`` package (legacy
+``pip install -e . --no-build-isolation --no-use-pep517`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,32 @@
+"""Result analysis: cross-scheme comparison, wear, and RAM models."""
+
+from .breakdown import (
+    BREAKDOWN_HEADERS,
+    breakdown_rows,
+    overhead_ratio,
+    time_breakdown,
+)
+from .compare import (
+    COMPARISON_HEADERS,
+    check_expected_ordering,
+    comparison_rows,
+    optimality_gap,
+)
+from .ram import ram_model, scalability_table
+from .wear import erase_histogram, lifetime_projection, wear_profile
+
+__all__ = [
+    "BREAKDOWN_HEADERS",
+    "breakdown_rows",
+    "overhead_ratio",
+    "time_breakdown",
+    "COMPARISON_HEADERS",
+    "check_expected_ordering",
+    "comparison_rows",
+    "optimality_gap",
+    "ram_model",
+    "scalability_table",
+    "erase_histogram",
+    "lifetime_projection",
+    "wear_profile",
+]

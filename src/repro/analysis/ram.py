@@ -1,0 +1,67 @@
+"""RAM-footprint accounting across schemes (experiment E9's substrate).
+
+Computes, for a given device size, how much RAM each scheme's translation
+structures need - the axis on which LazyFTL/DFTL beat the ideal FTL and
+the block-mapping schemes beat everyone (at the price of merges).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..flash.geometry import MAP_ENTRY_BYTES, FlashGeometry
+
+
+def ram_model(
+    geometry: FlashGeometry,
+    logical_pages: int,
+    uba_blocks: int = 8,
+    cba_blocks: int = 4,
+    cmt_entries: int = 4096,
+    num_log_blocks: int = 16,
+) -> Dict[str, int]:
+    """Analytic RAM footprint (bytes) of each scheme's mapping structures.
+
+    Follows the conventions used throughout the FTL literature: 4-byte
+    physical addresses, 8 bytes per cached (lpn, ppn) pair.
+    """
+    pages = geometry.pages_per_block
+    entries_per_page = geometry.map_entries_per_page
+    num_lbns = (logical_pages + pages - 1) // pages
+    num_tvpns = (logical_pages + entries_per_page - 1) // entries_per_page
+    umt_capacity = (uba_blocks + cba_blocks) * pages
+    return {
+        "ideal": logical_pages * MAP_ENTRY_BYTES,
+        "BAST": num_lbns * MAP_ENTRY_BYTES
+        + num_log_blocks * (MAP_ENTRY_BYTES + 2 * pages),
+        "FAST": num_lbns * MAP_ENTRY_BYTES
+        + num_log_blocks * pages * 2 * MAP_ENTRY_BYTES,
+        "DFTL": cmt_entries * 2 * MAP_ENTRY_BYTES
+        + num_tvpns * MAP_ENTRY_BYTES,
+        "LazyFTL": umt_capacity * 2 * MAP_ENTRY_BYTES
+        + num_tvpns * MAP_ENTRY_BYTES,
+    }
+
+
+def scalability_table(
+    capacities_mib: list,
+    pages_per_block: int = 64,
+    page_size: int = 2048,
+    logical_fraction: float = 0.85,
+) -> Dict[int, Dict[str, int]]:
+    """RAM footprint of each scheme as the device grows.
+
+    The ideal FTL's RAM grows linearly with capacity while LazyFTL's grows
+    only with the (fixed) UBA/CBA size plus the tiny GTD - the paper's
+    "high scalability" claim in table form.
+    """
+    from ..flash.geometry import geometry_for_capacity
+
+    table = {}
+    for mib in capacities_mib:
+        geometry = geometry_for_capacity(
+            mib, pages_per_block=pages_per_block, page_size=page_size
+        )
+        logical = int(geometry.total_pages * logical_fraction)
+        table[mib] = ram_model(geometry, logical)
+    return table

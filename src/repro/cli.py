@@ -1,0 +1,180 @@
+"""Command-line interface: run comparisons and inspect workloads.
+
+Usage::
+
+    python -m repro compare --trace financial1 --requests 20000
+    python -m repro compare --trace random --schemes DFTL LazyFTL ideal
+    python -m repro characterize --trace tpcc --requests 50000
+    python -m repro replay-spc path/to/Financial1.spc --max-requests 20000
+
+The ``compare`` command reproduces the paper's headline comparison for one
+workload on the headline device (see DESIGN.md) and prints the same table
+the benchmarks record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import COMPARISON_HEADERS, comparison_rows, optimality_gap
+from .sim import HEADLINE_DEVICE, SCHEMES, DeviceSpec, compare_schemes
+from .sim.report import format_table
+from .traces import (
+    Trace,
+    characterize,
+    financial1,
+    financial2,
+    hot_cold,
+    parse_spc_file,
+    sequential,
+    tpcc,
+    uniform_random,
+    websearch,
+    zipf,
+)
+
+_GENERATORS = {
+    "random": lambda n, fp, seed: uniform_random(n, fp, seed=seed,
+                                                 name="random"),
+    "sequential": lambda n, fp, seed: sequential(n, fp, request_pages=4,
+                                                 seed=seed),
+    "zipf": lambda n, fp, seed: zipf(n, fp, seed=seed),
+    "hot-cold": lambda n, fp, seed: hot_cold(n, fp, seed=seed),
+    "financial1": financial1,
+    "financial2": financial2,
+    "websearch": websearch,
+    "tpcc": tpcc,
+}
+
+
+def _device_from_args(args: argparse.Namespace) -> DeviceSpec:
+    return DeviceSpec(
+        num_blocks=args.blocks,
+        pages_per_block=args.pages_per_block,
+        page_size=args.page_size,
+        logical_fraction=args.logical_fraction,
+    )
+
+
+def _trace_from_args(args: argparse.Namespace, device: DeviceSpec) -> Trace:
+    footprint = int(device.logical_pages * args.footprint_fraction)
+    generator = _GENERATORS[args.trace]
+    return generator(args.requests, footprint, args.seed)
+
+
+def _add_device_arguments(parser: argparse.ArgumentParser) -> None:
+    d = HEADLINE_DEVICE
+    parser.add_argument("--blocks", type=int, default=d.num_blocks)
+    parser.add_argument("--pages-per-block", type=int,
+                        default=d.pages_per_block)
+    parser.add_argument("--page-size", type=int, default=d.page_size)
+    parser.add_argument("--logical-fraction", type=float,
+                        default=d.logical_fraction)
+
+
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", choices=sorted(_GENERATORS),
+                        default="financial1")
+    parser.add_argument("--requests", type=int, default=20000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--footprint-fraction", type=float, default=0.8)
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    device = _device_from_args(args)
+    trace = _trace_from_args(args, device)
+    results = compare_schemes(
+        trace,
+        schemes=tuple(args.schemes),
+        device=device,
+        precondition="steady" if args.steady else True,
+    )
+    print(format_table(
+        COMPARISON_HEADERS,
+        comparison_rows(results),
+        title=f"{trace.name}: {len(trace)} requests on "
+              f"{device.num_blocks}-block device",
+    ))
+    if "ideal" in results:
+        gap = optimality_gap(results)
+        print("\nvs theoretically optimal:")
+        for scheme in args.schemes:
+            print(f"  {scheme:8s} {gap[scheme]:6.2f}x")
+    return 0
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    device = _device_from_args(args)
+    trace = _trace_from_args(args, device)
+    c = characterize(trace)
+    rows = [[key, value] for key, value in c.items()]
+    print(format_table(["property", "value"], rows, title=trace.name))
+    return 0
+
+
+def cmd_replay_spc(args: argparse.Namespace) -> int:
+    device = _device_from_args(args)
+    trace = parse_spc_file(
+        args.path,
+        page_size=device.page_size,
+        max_requests=args.max_requests,
+    )
+    if trace.max_lpn >= device.logical_pages:
+        print(
+            f"trace footprint ({trace.max_lpn + 1} pages) exceeds the "
+            f"device ({device.logical_pages} pages); enlarge --blocks",
+            file=sys.stderr,
+        )
+        return 2
+    results = compare_schemes(trace, schemes=tuple(args.schemes),
+                              device=device)
+    print(format_table(COMPARISON_HEADERS, comparison_rows(results),
+                       title=f"replay of {args.path}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LazyFTL (SIGMOD 2011) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser("compare", help="cross-scheme comparison")
+    _add_trace_arguments(compare)
+    _add_device_arguments(compare)
+    compare.add_argument(
+        "--schemes", nargs="+", choices=list(SCHEMES),
+        # Default to the paper's five; NFTL/LAST/superblock opt in (the
+        # historical schemes are slow at headline scale).
+        default=["BAST", "FAST", "DFTL", "LazyFTL", "ideal"],
+    )
+    compare.add_argument("--steady", action="store_true",
+                         help="precondition to steady-state GC")
+    compare.set_defaults(func=cmd_compare)
+
+    charac = sub.add_parser("characterize", help="workload statistics")
+    _add_trace_arguments(charac)
+    _add_device_arguments(charac)
+    charac.set_defaults(func=cmd_characterize)
+
+    replay = sub.add_parser("replay-spc", help="replay a real SPC trace")
+    replay.add_argument("path")
+    replay.add_argument("--max-requests", type=int, default=50000)
+    replay.add_argument("--schemes", nargs="+",
+                        default=["DFTL", "LazyFTL", "ideal"],
+                        choices=list(SCHEMES))
+    _add_device_arguments(replay)
+    replay.set_defaults(func=cmd_replay_spc)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

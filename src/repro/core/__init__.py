@@ -1,0 +1,37 @@
+"""LazyFTL - the paper's primary contribution.
+
+Public surface:
+
+* :class:`LazyFTL` - the scheme itself (read / write / flush / checkpoint);
+* :class:`LazyConfig` - area sizes (the paper's ``m_u`` / ``m_c``) and
+  optional features (GMT cache, wear leveling, checkpoint cadence);
+* :func:`recover` / :class:`RecoveryReport` - crash recovery;
+* the building blocks (:class:`UpdateMappingTable`,
+  :class:`GlobalTranslationDirectory`, :class:`MappingStore`) for tests,
+  analysis and extensions.
+"""
+
+from .areas import BlockArea, DataBlockSet
+from .config import LazyConfig
+from .gtd import GlobalTranslationDirectory
+from .lazyftl import ANCHOR_BLOCKS, LazyFTL
+from .mapping import MappingStore
+from .recovery import CheckpointError, CheckpointScribe, RecoveryReport, recover
+from .umt import UmtEntry, UpdateMappingTable, group_by_tvpn
+
+__all__ = [
+    "ANCHOR_BLOCKS",
+    "LazyFTL",
+    "LazyConfig",
+    "BlockArea",
+    "DataBlockSet",
+    "GlobalTranslationDirectory",
+    "MappingStore",
+    "CheckpointError",
+    "CheckpointScribe",
+    "RecoveryReport",
+    "recover",
+    "UmtEntry",
+    "UpdateMappingTable",
+    "group_by_tvpn",
+]

@@ -1,0 +1,56 @@
+"""GTD: the Global Translation Directory.
+
+One RAM entry per GMT (mapping) page, recording where its current flash
+copy lives.  With 2 KiB pages each GMT page covers 512 logical pages, so
+the GTD is ~1/512 the size of a full page map - the small RAM structure
+that makes LazyFTL's in-flash mapping affordable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..flash.geometry import MAP_ENTRY_BYTES
+
+
+class GlobalTranslationDirectory:
+    """Locates every GMT page on flash.
+
+    An entry of None means the GMT page has never been written: every
+    logical page it covers is unmapped.
+    """
+
+    def __init__(self, num_tvpns: int):
+        if num_tvpns <= 0:
+            raise ValueError("num_tvpns must be positive")
+        self._entries: List[Optional[int]] = [None] * num_tvpns
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, tvpn: int) -> Optional[int]:
+        """Flash location of GMT page ``tvpn`` (None if never written)."""
+        return self._entries[tvpn]
+
+    def set(self, tvpn: int, ppn: int) -> None:
+        self._entries[tvpn] = ppn
+
+    def materialized(self) -> int:
+        """How many GMT pages exist on flash."""
+        return sum(1 for e in self._entries if e is not None)
+
+    def ram_bytes(self) -> int:
+        """4 bytes per directory entry, the paper's convention."""
+        return len(self._entries) * MAP_ENTRY_BYTES
+
+    def snapshot(self) -> List[Optional[int]]:
+        """Copy of the directory for checkpoints."""
+        return list(self._entries)
+
+    def restore(self, entries: List[Optional[int]]) -> None:
+        """Replace the directory contents (recovery path)."""
+        if len(entries) != len(self._entries):
+            raise ValueError(
+                f"directory size mismatch: {len(entries)} != {len(self._entries)}"
+            )
+        self._entries = list(entries)

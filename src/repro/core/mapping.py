@@ -1,0 +1,222 @@
+"""MappingStore: the in-flash Global Mapping Table (GMT) and its MBA blocks.
+
+The GMT is a page-level map stored in dedicated mapping pages: entry ``i``
+of GMT page ``t`` holds the physical location of logical page
+``t * entries_per_page + i``.  The RAM-resident GTD locates each GMT page.
+All GMT updates arrive in *batches* from block conversion - the mechanism
+that lets LazyFTL amortise one mapping-page read-modify-write over many
+host writes.
+
+An optional bounded RAM cache of GMT page contents (off by default) is
+provided for ablation experiments; the paper's base design always reads
+GMT pages from flash.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..flash.chip import NandFlash
+from ..flash.geometry import MAP_ENTRY_BYTES
+from ..flash.oob import OOBData, PageKind, SequenceCounter
+from ..ftl.pool import BlockPool
+from ..ftl.stats import FtlStats
+from .gtd import GlobalTranslationDirectory
+
+
+class MappingStore:
+    """Manages GMT pages, the GTD, and the mapping block area (MBA)."""
+
+    def __init__(
+        self,
+        flash: NandFlash,
+        pool: BlockPool,
+        stats: FtlStats,
+        seq: SequenceCounter,
+        num_tvpns: int,
+        cache_pages: int = 0,
+    ):
+        self.flash = flash
+        self.pool = pool
+        self.stats = stats
+        self.seq = seq
+        self.gtd = GlobalTranslationDirectory(num_tvpns)
+        self.entries_per_page = flash.geometry.map_entries_per_page
+        self.cache_pages = cache_pages
+        self._cache: "OrderedDict[int, List[Optional[int]]]" = OrderedDict()
+        self._frontier: Optional[int] = None
+        self._full_blocks: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Membership (for GC candidate enumeration and checkpoints)
+    # ------------------------------------------------------------------
+    @property
+    def full_blocks(self) -> Set[int]:
+        """Retired (full) mapping blocks - the MBA's GC candidates."""
+        return self._full_blocks
+
+    @property
+    def frontier(self) -> Optional[int]:
+        return self._frontier
+
+    def all_blocks(self) -> List[int]:
+        blocks = sorted(self._full_blocks)
+        if self._frontier is not None:
+            blocks.append(self._frontier)
+        return blocks
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def tvpn_of(self, lpn: int) -> int:
+        return lpn // self.entries_per_page
+
+    def lookup(self, lpn: int) -> Tuple[Optional[int], float]:
+        """Resolve ``lpn`` through the GMT; returns (ppn|None, latency)."""
+        tvpn = self.tvpn_of(lpn)
+        idx = lpn % self.entries_per_page
+        cached = self._cache.get(tvpn)
+        if cached is not None:
+            self._cache.move_to_end(tvpn)
+            return cached[idx], 0.0
+        tppn = self.gtd.get(tvpn)
+        if tppn is None:
+            return None, 0.0
+        content, _, latency = self.flash.read_page(tppn)
+        self.stats.map_reads += 1
+        self._cache_put(tvpn, list(content))
+        return content[idx], latency
+
+    def load(self, tvpn: int) -> Tuple[List[Optional[int]], float]:
+        """Full content of a GMT page (a fresh empty page if absent)."""
+        cached = self._cache.get(tvpn)
+        if cached is not None:
+            self._cache.move_to_end(tvpn)
+            return list(cached), 0.0
+        tppn = self.gtd.get(tvpn)
+        if tppn is None:
+            return [None] * self.entries_per_page, 0.0
+        content, _, latency = self.flash.read_page(tppn)
+        self.stats.map_reads += 1
+        return list(content), latency
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def commit(
+        self,
+        groups: Dict[int, List[Tuple[int, int]]],
+        on_superseded: Callable[[int, int], None],
+    ) -> float:
+        """Apply batched mapping updates, one GMT page write per group.
+
+        Args:
+            groups: tvpn -> list of (lpn, new_ppn), as produced by
+                :func:`repro.core.umt.group_by_tvpn`.
+            on_superseded: Called with ``(lpn, old_ppn)`` for every entry
+                whose previous GMT value is displaced - the hook LazyFTL
+                uses for its deferred invalidation of old data pages.
+        """
+        latency = 0.0
+        for tvpn in sorted(groups):
+            # Reserve the slot first so the allocation cannot interleave
+            # with the content snapshot below.
+            latency += self._ensure_frontier()
+            content, read_lat = self.load(tvpn)
+            latency += read_lat
+            for lpn, new_ppn in groups[tvpn]:
+                old_ppn = content[lpn % self.entries_per_page]
+                if old_ppn is not None and old_ppn != new_ppn:
+                    on_superseded(lpn, old_ppn)
+                content[lpn % self.entries_per_page] = new_ppn
+                self.stats.batched_commits += 1
+            latency += self._program(tvpn, content)
+        return latency
+
+    def _program(self, tvpn: int, content: List[Optional[int]]) -> float:
+        """Write a new version of GMT page ``tvpn``; update GTD and cache."""
+        latency = self._ensure_frontier()
+        block = self.flash.block(self._frontier)
+        ppn = self.flash.geometry.ppn_of(self._frontier, block.write_ptr)
+        latency += self.flash.program_page(
+            ppn,
+            content,
+            OOBData(lpn=tvpn, seq=self.seq.next(), kind=PageKind.MAPPING),
+        )
+        self.stats.map_writes += 1
+        old = self.gtd.get(tvpn)
+        if old is not None:
+            self.flash.invalidate_page(old)
+        self.gtd.set(tvpn, ppn)
+        self._cache_put(tvpn, content)
+        return latency
+
+    def _ensure_frontier(self) -> float:
+        """Keep a writable mapping block; allocation comes from the shared
+        pool whose GC reserve is sized for it (no recursive GC here)."""
+        if self._frontier is not None and \
+                self.flash.block(self._frontier).is_full:
+            self._full_blocks.add(self._frontier)
+            self._frontier = None
+        if self._frontier is None:
+            self._frontier = self.pool.allocate()
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Garbage collection of mapping blocks
+    # ------------------------------------------------------------------
+    def collect(self, pbn: int) -> float:
+        """Relocate a victim MBA block's valid GMT pages; caller erases."""
+        latency = 0.0
+        geometry = self.flash.geometry
+        block = self.flash.block(pbn)
+        for offset in list(block.valid_offsets()):
+            src = geometry.ppn_of(pbn, offset)
+            content, oob, read_lat = self.flash.read_page(src)
+            latency += read_lat
+            self.stats.map_reads += 1
+            latency += self._ensure_frontier()
+            dst_block = self.flash.block(self._frontier)
+            dst = geometry.ppn_of(self._frontier, dst_block.write_ptr)
+            latency += self.flash.program_page(
+                dst,
+                content,
+                OOBData(lpn=oob.lpn, seq=self.seq.next(),
+                        kind=PageKind.MAPPING),
+            )
+            self.stats.map_writes += 1
+            self.stats.gc_page_copies += 1
+            self.gtd.set(oob.lpn, dst)
+            self.flash.invalidate_page(src)
+        self._full_blocks.discard(pbn)
+        return latency
+
+    # ------------------------------------------------------------------
+    # Accounting / persistence
+    # ------------------------------------------------------------------
+    def ram_bytes(self) -> int:
+        cache_bytes = self.cache_pages * self.entries_per_page * MAP_ENTRY_BYTES
+        return self.gtd.ram_bytes() + cache_bytes
+
+    def _cache_put(self, tvpn: int, content: List[Optional[int]]) -> None:
+        if self.cache_pages <= 0:
+            return
+        self._cache[tvpn] = content
+        self._cache.move_to_end(tvpn)
+        while len(self._cache) > self.cache_pages:
+            self._cache.popitem(last=False)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Checkpoint fragment: GTD + MBA membership."""
+        return {
+            "gtd": self.gtd.snapshot(),
+            "full_blocks": sorted(self._full_blocks),
+            "frontier": self._frontier,
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        self.gtd.restore(state["gtd"])  # type: ignore[arg-type]
+        self._full_blocks = set(state["full_blocks"])  # type: ignore[arg-type]
+        self._frontier = state["frontier"]  # type: ignore[assignment]
+        self._cache.clear()

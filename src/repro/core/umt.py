@@ -1,0 +1,119 @@
+"""UMT: the Update Mapping Table.
+
+The RAM table at the heart of LazyFTL's laziness: it holds the mapping
+entries of every page currently living in the update or cold block areas,
+i.e. exactly the entries whose GMT copies are *deliberately stale*.  Its
+size is bounded by the page capacity of those two small areas, so unlike
+the ideal FTL's full map it stays tiny regardless of device capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..flash.geometry import MAP_ENTRY_BYTES
+
+
+@dataclass(frozen=True)
+class UmtEntry:
+    """One deferred mapping entry.
+
+    Attributes:
+        ppn: Current physical location of the logical page (in UBA or CBA).
+        cold: True when the copy was placed by garbage collection (lives in
+            the cold area); used by conversion bookkeeping and recovery.
+    """
+
+    ppn: int
+    cold: bool = False
+
+
+class UpdateMappingTable:
+    """lpn -> :class:`UmtEntry` map with conversion helpers.
+
+    Entries are additionally indexed by the GMT page (tvpn) that holds
+    their mapping, because conversion commits *every* UMT entry of a GMT
+    page whenever that page is rewritten - the global batching that makes
+    one mapping-page read-modify-write absorb updates from many blocks.
+    """
+
+    def __init__(self, entries_per_page: int = 512) -> None:
+        if entries_per_page <= 0:
+            raise ValueError("entries_per_page must be positive")
+        self.entries_per_page = entries_per_page
+        self._entries: Dict[int, UmtEntry] = {}
+        self._by_tvpn: Dict[int, set] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, lpn: int) -> bool:
+        return lpn in self._entries
+
+    def get(self, lpn: int) -> Optional[UmtEntry]:
+        return self._entries.get(lpn)
+
+    def set(self, lpn: int, ppn: int, cold: bool = False) -> None:
+        """Insert or replace the deferred entry for ``lpn``."""
+        self._entries[lpn] = UmtEntry(ppn, cold)
+        self._by_tvpn.setdefault(lpn // self.entries_per_page, set()).add(lpn)
+
+    def pop(self, lpn: int) -> Optional[UmtEntry]:
+        """Remove and return the entry (None if absent)."""
+        entry = self._entries.pop(lpn, None)
+        if entry is not None:
+            tvpn = lpn // self.entries_per_page
+            peers = self._by_tvpn.get(tvpn)
+            if peers is not None:
+                peers.discard(lpn)
+                if not peers:
+                    del self._by_tvpn[tvpn]
+        return entry
+
+    def lpns_in_tvpn(self, tvpn: int) -> List[int]:
+        """All lpns with deferred entries covered by GMT page ``tvpn``."""
+        return sorted(self._by_tvpn.get(tvpn, ()))
+
+    def items(self) -> Iterator[Tuple[int, UmtEntry]]:
+        return iter(self._entries.items())
+
+    def points_to(self, lpn: int, ppn: int) -> bool:
+        """True when the UMT maps ``lpn`` exactly to ``ppn``.
+
+        Conversion uses this to decide which of a block's pages still hold
+        the newest copy; GC uses the negation to detect pages superseded by
+        later writes (deferred invalidation).
+        """
+        entry = self._entries.get(lpn)
+        return entry is not None and entry.ppn == ppn
+
+    def ram_bytes(self) -> int:
+        """8 bytes per entry (lpn + ppn), the paper's convention."""
+        return len(self._entries) * 2 * MAP_ENTRY_BYTES
+
+    def snapshot(self) -> Dict[int, Tuple[int, bool]]:
+        """Serializable copy for checkpoints."""
+        return {l: (e.ppn, e.cold) for l, e in self._entries.items()}
+
+    def restore(self, state: Dict[int, Tuple[int, bool]]) -> None:
+        """Replace contents from a checkpoint/recovery scan."""
+        self._entries = {}
+        self._by_tvpn = {}
+        for lpn, (ppn, cold) in state.items():
+            self.set(lpn, ppn, cold)
+
+
+def group_by_tvpn(
+    pairs: List[Tuple[int, int]], entries_per_page: int
+) -> Dict[int, List[Tuple[int, int]]]:
+    """Group (lpn, ppn) mapping updates by the GMT page that holds them.
+
+    This grouping is what makes conversion cheap: one GMT page
+    read-modify-write commits every update in a group (the paper's batch
+    update).
+    """
+    groups: Dict[int, List[Tuple[int, int]]] = {}
+    for lpn, ppn in pairs:
+        groups.setdefault(lpn // entries_per_page, []).append((lpn, ppn))
+    return groups

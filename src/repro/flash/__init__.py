@@ -1,0 +1,60 @@
+"""Raw NAND flash device simulator (the substrate every FTL runs on).
+
+Public surface:
+
+* :class:`FlashGeometry` / :func:`geometry_for_capacity` - device layout;
+* :class:`TimingModel` and the ``SLC_TIMING`` / ``MLC_TIMING`` /
+  ``UNIT_TIMING`` presets - per-operation latencies;
+* :class:`NandFlash` - the device itself (read / program / erase + power
+  loss injection via :class:`PowerFault`);
+* :class:`OOBData`, :class:`PageKind`, :class:`SequenceCounter` - spare-area
+  metadata used by FTL recovery;
+* :class:`FlashStats`, :func:`wear_summary` - accounting.
+"""
+
+from .block import Block
+from .chip import NandFlash
+from .errors import (
+    BadBlockError,
+    DeviceOffError,
+    EraseError,
+    FlashError,
+    OutOfRangeError,
+    PowerLossError,
+    ProgramError,
+    ReadError,
+)
+from .fault import PowerFault
+from .geometry import MAP_ENTRY_BYTES, FlashGeometry, geometry_for_capacity
+from .oob import OOBData, PageKind, SequenceCounter
+from .page import Page, PageState
+from .stats import FlashStats, wear_summary
+from .timing import MLC_TIMING, SLC_TIMING, UNIT_TIMING, TimingModel
+
+__all__ = [
+    "Block",
+    "NandFlash",
+    "BadBlockError",
+    "DeviceOffError",
+    "EraseError",
+    "FlashError",
+    "OutOfRangeError",
+    "PowerLossError",
+    "ProgramError",
+    "ReadError",
+    "PowerFault",
+    "MAP_ENTRY_BYTES",
+    "FlashGeometry",
+    "geometry_for_capacity",
+    "OOBData",
+    "PageKind",
+    "SequenceCounter",
+    "Page",
+    "PageState",
+    "FlashStats",
+    "wear_summary",
+    "MLC_TIMING",
+    "SLC_TIMING",
+    "UNIT_TIMING",
+    "TimingModel",
+]

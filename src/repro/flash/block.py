@@ -1,0 +1,169 @@
+"""One NAND erase block: a fixed array of pages with NAND programming rules.
+
+The block enforces the two constraints that shape every FTL design:
+
+* **erase-before-write** - a page can only be programmed while FREE;
+* **sequential programming** - pages within a block must be programmed in
+  ascending offset order (the NOP=1 rule of SLC/MLC NAND).
+
+It also maintains the counters (valid pages, write pointer, erase count) that
+garbage-collection and wear-leveling policies consume.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from .errors import EraseError, ProgramError, ReadError
+from .oob import OOBData
+from .page import Page, PageState
+
+
+class Block:
+    """A fixed-size erase block.
+
+    Attributes:
+        index: The block's physical block number on the device.
+        erase_count: How many times this block has been erased (wear).
+    """
+
+    __slots__ = (
+        "index",
+        "pages",
+        "erase_count",
+        "is_bad",
+        "_write_ptr",
+        "_valid_count",
+    )
+
+    def __init__(self, index: int, pages_per_block: int):
+        if pages_per_block <= 0:
+            raise ValueError("pages_per_block must be positive")
+        self.index = index
+        self.pages: List[Page] = [Page() for _ in range(pages_per_block)]
+        self.erase_count = 0
+        self.is_bad = False
+        self._write_ptr = 0          # next programmable offset
+        self._valid_count = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pages_per_block(self) -> int:
+        return len(self.pages)
+
+    @property
+    def write_ptr(self) -> int:
+        """Offset of the next free page (== pages programmed since erase)."""
+        return self._write_ptr
+
+    @property
+    def valid_count(self) -> int:
+        """Number of VALID pages currently in the block."""
+        return self._valid_count
+
+    @property
+    def invalid_count(self) -> int:
+        """Number of INVALID (stale) pages currently in the block."""
+        return self._write_ptr - self._valid_count
+
+    @property
+    def free_count(self) -> int:
+        """Number of still-programmable pages."""
+        return len(self.pages) - self._write_ptr
+
+    @property
+    def is_full(self) -> bool:
+        """True when every page has been programmed since the last erase."""
+        return self._write_ptr >= len(self.pages)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the block is fully erased."""
+        return self._write_ptr == 0
+
+    def valid_offsets(self) -> Iterator[int]:
+        """Yield the offsets of all VALID pages, ascending."""
+        for offset in range(self._write_ptr):
+            if self.pages[offset].state is PageState.VALID:
+                yield offset
+
+    def programmed_offsets(self) -> Iterator[int]:
+        """Yield offsets of all programmed (valid or invalid) pages."""
+        return iter(range(self._write_ptr))
+
+    # ------------------------------------------------------------------
+    # NAND operations (invoked by the chip, which does the accounting)
+    # ------------------------------------------------------------------
+    def read(self, offset: int) -> Tuple[Any, Optional[OOBData]]:
+        """Return ``(data, oob)`` of a programmed page.
+
+        Reading an unprogrammed page is a simulator usage bug, so it raises
+        :class:`ReadError` rather than returning garbage silently.
+        """
+        page = self.pages[offset]
+        if page.is_free:
+            raise ReadError(
+                f"read of unprogrammed page (block {self.index}, offset {offset})"
+            )
+        return page.data, page.oob
+
+    def program(self, offset: int, data: Any, oob: Optional[OOBData],
+                enforce_sequential: bool = True) -> None:
+        """Program one page, enforcing NAND constraints."""
+        page = self.pages[offset]
+        if not page.is_free:
+            raise ProgramError(
+                f"program of non-free page (block {self.index}, offset {offset})"
+            )
+        if enforce_sequential and offset != self._write_ptr:
+            raise ProgramError(
+                f"non-sequential program in block {self.index}: "
+                f"offset {offset}, expected {self._write_ptr}"
+            )
+        page.program(data, oob)
+        if offset >= self._write_ptr:
+            self._write_ptr = offset + 1
+        self._valid_count += 1
+
+    def invalidate(self, offset: int) -> None:
+        """Mark a VALID page stale.  Idempotent on already-invalid pages."""
+        page = self.pages[offset]
+        if page.is_free:
+            raise ProgramError(
+                f"invalidate of free page (block {self.index}, offset {offset})"
+            )
+        if page.is_valid:
+            page.invalidate()
+            self._valid_count -= 1
+
+    def erase(self) -> None:
+        """Erase the whole block, resetting every page to FREE."""
+        if self._valid_count > 0:
+            raise EraseError(
+                f"erase of block {self.index} with {self._valid_count} valid pages"
+            )
+        for page in self.pages:
+            page.reset()
+        self._write_ptr = 0
+        self._valid_count = 0
+        self.erase_count += 1
+
+    def force_erase(self) -> None:
+        """Erase even if valid pages remain (test/fault tooling only)."""
+        for page in self.pages:
+            page.reset()
+        self._write_ptr = 0
+        self._valid_count = 0
+        self.erase_count += 1
+
+    def mark_bad(self) -> None:
+        """Permanently retire the block (wear-out or factory mark)."""
+        self.is_bad = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Block({self.index}, valid={self._valid_count}, "
+            f"wp={self._write_ptr}/{len(self.pages)}, erases={self.erase_count})"
+        )

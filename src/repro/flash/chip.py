@@ -1,0 +1,209 @@
+"""The simulated NAND flash device.
+
+:class:`NandFlash` exposes exactly the raw operations an FTL can issue -
+``read_page``, ``program_page``, ``erase_block`` plus the simulator-level
+``invalidate_page`` bookkeeping - enforces NAND constraints, charges latency
+per the timing model, and supports power-loss injection for recovery tests.
+
+Every operation returns its latency in microseconds; FTLs sum these into the
+service time of the host request they are working on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Tuple
+
+from .block import Block
+from .errors import BadBlockError, DeviceOffError, PowerLossError
+from .fault import PowerFault
+from .geometry import FlashGeometry
+from .oob import OOBData
+from .stats import FlashStats
+from .timing import SLC_TIMING, TimingModel
+
+
+class NandFlash:
+    """A raw NAND device: geometry + timing + block array.
+
+    Args:
+        geometry: Physical layout of the device.
+        timing: Per-operation latency model (defaults to the paper-era SLC
+            constants).
+        enforce_sequential: Enforce in-block sequential programming.  All
+            shipped FTLs program sequentially; tests may relax this.
+    """
+
+    def __init__(
+        self,
+        geometry: Optional[FlashGeometry] = None,
+        timing: TimingModel = SLC_TIMING,
+        enforce_sequential: bool = True,
+        endurance: Optional[int] = None,
+        initial_bad_blocks: Iterable[int] = (),
+    ):
+        self.geometry = geometry if geometry is not None else FlashGeometry()
+        self.timing = timing
+        self.enforce_sequential = enforce_sequential
+        if endurance is not None and endurance < 1:
+            raise ValueError("endurance must be >= 1 or None")
+        self.endurance = endurance
+        self.blocks: List[Block] = [
+            Block(i, self.geometry.pages_per_block)
+            for i in range(self.geometry.num_blocks)
+        ]
+        for pbn in initial_bad_blocks:
+            self.geometry.check_block(pbn)
+            self.blocks[pbn].mark_bad()
+        self.stats = FlashStats()
+        self.fault = PowerFault()
+        self._powered = True
+
+    # ------------------------------------------------------------------
+    # Power management (crash simulation)
+    # ------------------------------------------------------------------
+    @property
+    def powered(self) -> bool:
+        """False after a simulated power loss, until :meth:`power_on`."""
+        return self._powered
+
+    def power_off(self) -> None:
+        """Cut power immediately (explicit alternative to armed faults)."""
+        self._powered = False
+
+    def power_on(self) -> None:
+        """Restore power after a crash.
+
+        Flash contents survive (that is the point of NAND); only the power
+        state is reset.  RAM-resident FTL state does *not* survive - it is
+        the recovery code's job to rebuild it.
+        """
+        self._powered = True
+        self.fault.disarm()
+
+    def _check_power(self) -> None:
+        if not self._powered:
+            raise DeviceOffError("flash device is powered off")
+
+    # ------------------------------------------------------------------
+    # Raw NAND operations
+    # ------------------------------------------------------------------
+    def read_page(self, ppn: int) -> Tuple[Any, Optional[OOBData], float]:
+        """Read a page; returns ``(data, oob, latency_us)``."""
+        self._check_power()
+        block, offset = self.geometry.split_ppn(ppn)
+        data, oob = self.blocks[block].read(offset)
+        latency = self.timing.page_read_us
+        self.stats.page_reads += 1
+        self.stats.read_us += latency
+        return data, oob, latency
+
+    def read_oob(self, ppn: int) -> Tuple[Optional[OOBData], float]:
+        """Read only the spare area of a page.
+
+        Recovery scans read OOB areas block by block; real controllers can
+        fetch the spare bytes alone, but we charge a full page read to stay
+        conservative (the paper's recovery cost model does the same).
+        """
+        data, oob, latency = self.read_page(ppn)
+        del data
+        return oob, latency
+
+    def probe_page(self, ppn: int) -> Tuple[Optional[OOBData], float]:
+        """Read a page's OOB, tolerating erased pages.
+
+        Returns ``(None, latency)`` for an unprogrammed page instead of
+        raising; recovery scans use this to classify blocks (real
+        controllers detect erased pages as all-0xFF).  Charged as a read.
+        """
+        self._check_power()
+        block, offset = self.geometry.split_ppn(ppn)
+        page = self.blocks[block].pages[offset]
+        latency = self.timing.page_read_us
+        self.stats.page_reads += 1
+        self.stats.read_us += latency
+        if page.is_free:
+            return None, latency
+        return page.oob, latency
+
+    def program_page(
+        self, ppn: int, data: Any, oob: Optional[OOBData] = None
+    ) -> float:
+        """Program a page; returns the latency in microseconds.
+
+        Raises :class:`PowerLossError` (leaving the page unprogrammed) if an
+        armed fault trips on this operation.
+        """
+        self._check_power()
+        if self.fault.on_program():
+            self._powered = False
+            raise PowerLossError(f"power lost before programming ppn {ppn}")
+        block, offset = self.geometry.split_ppn(ppn)
+        if self.blocks[block].is_bad:
+            raise BadBlockError(block, self.blocks[block].erase_count)
+        self.blocks[block].program(
+            offset, data, oob, enforce_sequential=self.enforce_sequential
+        )
+        latency = self.timing.page_program_us
+        self.stats.page_programs += 1
+        self.stats.program_us += latency
+        return latency
+
+    def erase_block(self, pbn: int) -> float:
+        """Erase a block; returns the latency in microseconds.
+
+        With an ``endurance`` limit configured, the erase that would
+        exceed it *fails*: the block is marked bad (its stale contents are
+        discarded, as the FTL has already relocated anything live) and
+        :class:`BadBlockError` is raised after charging the erase time -
+        real controllers discover wear-out exactly this way.
+        """
+        self._check_power()
+        if self.fault.on_erase():
+            self._powered = False
+            raise PowerLossError(f"power lost before erasing block {pbn}")
+        self.geometry.check_block(pbn)
+        block = self.blocks[pbn]
+        if block.is_bad:
+            raise BadBlockError(pbn, block.erase_count)
+        latency = self.timing.block_erase_us
+        self.stats.block_erases += 1
+        self.stats.erase_us += latency
+        if self.endurance is not None and block.erase_count >= self.endurance:
+            block.force_erase()  # contents are gone either way
+            block.mark_bad()
+            raise BadBlockError(pbn, block.erase_count)
+        block.erase()
+        return latency
+
+    # ------------------------------------------------------------------
+    # Simulator-level bookkeeping (free: models FTL RAM metadata updates)
+    # ------------------------------------------------------------------
+    def invalidate_page(self, ppn: int) -> None:
+        """Mark a physical page stale.  Costs no simulated time."""
+        block, offset = self.geometry.split_ppn(ppn)
+        self.blocks[block].invalidate(offset)
+
+    def page_state(self, ppn: int):
+        """Return the :class:`~repro.flash.page.PageState` of a page."""
+        block, offset = self.geometry.split_ppn(ppn)
+        return self.blocks[block].pages[offset].state
+
+    def block(self, pbn: int) -> Block:
+        """Return the :class:`Block` object for physical block ``pbn``."""
+        self.geometry.check_block(pbn)
+        return self.blocks[pbn]
+
+    def erase_counts(self) -> List[int]:
+        """Per-block erase counts (wear profile)."""
+        return [b.erase_count for b in self.blocks]
+
+    def bad_blocks(self) -> List[int]:
+        """Indices of all retired (bad) blocks."""
+        return [b.index for b in self.blocks if b.is_bad]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        g = self.geometry
+        return (
+            f"NandFlash({g.num_blocks} blocks x {g.pages_per_block} pages "
+            f"x {g.page_size}B, ops={self.stats.total_ops})"
+        )

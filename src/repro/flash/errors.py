@@ -1,0 +1,71 @@
+"""Exception hierarchy for the raw NAND flash simulator.
+
+All flash-level failures derive from :class:`FlashError` so callers can catch
+device problems with a single ``except`` clause while still being able to
+distinguish programming-constraint violations from simulated power failures.
+"""
+
+from __future__ import annotations
+
+
+class FlashError(Exception):
+    """Base class for every error raised by the flash device simulator."""
+
+
+class OutOfRangeError(FlashError):
+    """An address (physical page or block number) is outside the geometry."""
+
+    def __init__(self, kind: str, value: int, limit: int):
+        self.kind = kind
+        self.value = value
+        self.limit = limit
+        super().__init__(f"{kind} {value} out of range [0, {limit})")
+
+
+class ProgramError(FlashError):
+    """A program (write) operation violated NAND constraints.
+
+    Raised when programming a page that is not in the erased state
+    (erase-before-write) or, when sequential programming is enforced,
+    programming pages of a block out of order.
+    """
+
+
+class EraseError(FlashError):
+    """An erase operation was invalid (e.g. erasing a bad block index)."""
+
+
+class ReadError(FlashError):
+    """A read touched a page whose content is undefined (never programmed)."""
+
+
+class PowerLossError(FlashError):
+    """The simulated device lost power.
+
+    The operation that trips the fault does *not* take effect: NAND programs
+    and erases are atomic at our modelling granularity, so a power loss lands
+    *between* operations.  After this is raised the device refuses all
+    further operations until :meth:`repro.flash.chip.NandFlash.power_on` is
+    called, which models the post-crash reboot that recovery code runs under.
+    """
+
+
+class DeviceOffError(FlashError):
+    """An operation was attempted while the device is powered off."""
+
+
+class BadBlockError(FlashError):
+    """A block wore out (erase failure) or was already marked bad.
+
+    Raised by the erase that exhausts a block's endurance; the block is
+    permanently retired and refuses all further programs and erases.  The
+    FTL is expected to catch this, drop the block from its accounting, and
+    continue on the remaining capacity.
+    """
+
+    def __init__(self, pbn: int, erase_count: int):
+        self.pbn = pbn
+        self.erase_count = erase_count
+        super().__init__(
+            f"block {pbn} is bad (wore out after {erase_count} erases)"
+        )

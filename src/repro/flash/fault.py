@@ -1,0 +1,75 @@
+"""Power-loss fault injection for crash-recovery experiments.
+
+LazyFTL's recovery design is exercised by cutting power at arbitrary points
+in a workload and verifying that the FTL rebuilds a consistent mapping from
+flash-resident state (mapping blocks, checkpoints, OOB scans).  The
+:class:`PowerFault` controller decides *when* the device dies; the chip
+consults it before every state-changing operation.
+
+Faults trip *between* operations: programs and erases are atomic at our
+modelling granularity, which matches the page-program atomicity assumption
+of the paper's basic recovery design.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class PowerFault:
+    """Schedules a power loss after a given number of operations.
+
+    The countdown can be armed against program operations only (the usual
+    choice: crashes matter when they interleave with writes) or against all
+    state-changing operations (programs + erases).
+    """
+
+    def __init__(self) -> None:
+        self._remaining: Optional[int] = None
+        self._count_erases = False
+        self.tripped = False
+
+    def arm_after_programs(self, n: int) -> None:
+        """Trip the fault just before the ``n+1``-th program from now."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self._remaining = n
+        self._count_erases = False
+        self.tripped = False
+
+    def arm_after_ops(self, n: int) -> None:
+        """Like :meth:`arm_after_programs` but erases count down too."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self._remaining = n
+        self._count_erases = True
+        self.tripped = False
+
+    def disarm(self) -> None:
+        """Cancel any pending fault."""
+        self._remaining = None
+        self.tripped = False
+
+    @property
+    def armed(self) -> bool:
+        return self._remaining is not None and not self.tripped
+
+    def on_program(self) -> bool:
+        """Account one program; return True if the device must die now."""
+        return self._tick()
+
+    def on_erase(self) -> bool:
+        """Account one erase; return True if the device must die now."""
+        if not self._count_erases:
+            return False
+        return self._tick()
+
+    def _tick(self) -> bool:
+        if self._remaining is None or self.tripped:
+            return False
+        if self._remaining == 0:
+            self.tripped = True
+            self._remaining = None
+            return True
+        self._remaining -= 1
+        return False

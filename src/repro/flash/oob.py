@@ -1,0 +1,82 @@
+"""Out-of-band (spare area) metadata stored alongside every flash page.
+
+Real NAND pages carry a spare region (64+ bytes on 2 KiB pages) that FTLs use
+for reverse mappings and consistency metadata.  LazyFTL's recovery design
+depends on it: every data page records the logical page it holds and a
+monotonically increasing sequence number, so that after a crash the update
+and cold block areas can be scanned to rebuild the RAM-resident update
+mapping table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+class PageKind(Enum):
+    """What a physical page holds, as recorded in its OOB area."""
+
+    DATA = "data"            #: a host data page
+    MAPPING = "mapping"      #: a GMT / translation page
+    CHECKPOINT = "checkpoint"  #: serialized GTD / UMT checkpoint state
+
+
+@dataclass(frozen=True)
+class OOBData:
+    """Spare-area metadata written atomically with a page program.
+
+    Attributes:
+        lpn: For ``DATA`` pages, the logical page stored here.  For
+            ``MAPPING`` pages, the index of the mapping (translation) page.
+            For ``CHECKPOINT`` pages, a fragment index.
+        seq: Global program sequence number; strictly increases with every
+            program on the device, letting recovery order duplicate copies of
+            the same logical page.
+        kind: The page's role (data / mapping / checkpoint).
+        cold: LazyFTL flags pages relocated by garbage collection as cold so
+            recovery can tell update-area pages from cold-area pages.
+    """
+
+    lpn: int
+    seq: int
+    kind: PageKind = PageKind.DATA
+    cold: bool = False
+
+    def __post_init__(self) -> None:
+        if self.lpn < 0:
+            raise ValueError("lpn must be non-negative")
+        if self.seq < 0:
+            raise ValueError("seq must be non-negative")
+
+
+class SequenceCounter:
+    """Monotonic counter handing out OOB sequence numbers.
+
+    A single counter is shared by all writers of one FTL instance so OOB
+    sequence numbers establish a total order over every program operation.
+    """
+
+    def __init__(self, start: int = 0):
+        if start < 0:
+            raise ValueError("start must be non-negative")
+        self._next = start
+
+    @property
+    def current(self) -> int:
+        """The next value that will be handed out (not yet used)."""
+        return self._next
+
+    def next(self) -> int:
+        """Return the next sequence number and advance the counter."""
+        value = self._next
+        self._next += 1
+        return value
+
+    def fast_forward(self, seen: int) -> None:
+        """Ensure future values are strictly greater than ``seen``.
+
+        Recovery uses this after scanning OOB areas so post-crash writes do
+        not reuse sequence numbers.
+        """
+        if seen >= self._next:
+            self._next = seen + 1

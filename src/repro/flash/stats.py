@@ -1,0 +1,87 @@
+"""Operation counters and time accounting for the flash device."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass
+class FlashStats:
+    """Raw-device operation counters.
+
+    ``*_us`` fields accumulate the simulated time spent in each operation
+    class so callers can break total device time into read/program/erase
+    components without re-multiplying counts by latencies.
+    """
+
+    page_reads: int = 0
+    page_programs: int = 0
+    block_erases: int = 0
+    read_us: float = 0.0
+    program_us: float = 0.0
+    erase_us: float = 0.0
+
+    @property
+    def total_ops(self) -> int:
+        return self.page_reads + self.page_programs + self.block_erases
+
+    @property
+    def total_us(self) -> float:
+        return self.read_us + self.program_us + self.erase_us
+
+    def snapshot(self) -> "FlashStats":
+        """Return an independent copy of the current counters."""
+        return FlashStats(
+            page_reads=self.page_reads,
+            page_programs=self.page_programs,
+            block_erases=self.block_erases,
+            read_us=self.read_us,
+            program_us=self.program_us,
+            erase_us=self.erase_us,
+        )
+
+    def diff(self, earlier: "FlashStats") -> "FlashStats":
+        """Return counters accumulated since an ``earlier`` snapshot."""
+        return FlashStats(
+            page_reads=self.page_reads - earlier.page_reads,
+            page_programs=self.page_programs - earlier.page_programs,
+            block_erases=self.block_erases - earlier.block_erases,
+            read_us=self.read_us - earlier.read_us,
+            program_us=self.program_us - earlier.program_us,
+            erase_us=self.erase_us - earlier.erase_us,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary view for reports."""
+        return {
+            "page_reads": self.page_reads,
+            "page_programs": self.page_programs,
+            "block_erases": self.block_erases,
+            "read_us": self.read_us,
+            "program_us": self.program_us,
+            "erase_us": self.erase_us,
+        }
+
+
+def wear_summary(erase_counts: List[int]) -> Dict[str, float]:
+    """Summarise per-block erase counts for wear-leveling analysis.
+
+    Returns min/max/mean and the coefficient of variation (stddev / mean),
+    the figure wear-leveling studies report: lower is more even.
+    """
+    if not erase_counts:
+        return {"min": 0, "max": 0, "mean": 0.0, "cv": 0.0, "total": 0}
+    total = sum(erase_counts)
+    n = len(erase_counts)
+    mean = total / n
+    if mean == 0:
+        return {"min": 0, "max": 0, "mean": 0.0, "cv": 0.0, "total": 0}
+    var = sum((c - mean) ** 2 for c in erase_counts) / n
+    return {
+        "min": min(erase_counts),
+        "max": max(erase_counts),
+        "mean": mean,
+        "cv": (var ** 0.5) / mean,
+        "total": total,
+    }

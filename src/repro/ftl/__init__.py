@@ -1,0 +1,42 @@
+"""Flash translation layers: the shared framework and the baseline schemes.
+
+* :class:`FlashTranslationLayer` / :class:`HostResult` - the FTL contract;
+* :class:`PageFTL` - ideal page mapping (the theoretical optimum baseline);
+* :class:`BastFTL` - block-associative log blocks (switch/partial/full
+  merges);
+* :class:`FastFTL` - fully-associative log blocks (long full-merge stalls);
+* :class:`DftlFTL` - demand-cached page mapping (the strongest baseline);
+* :class:`BlockPool`, GC policies and :class:`FtlStats` - shared machinery.
+
+LazyFTL itself, the paper's contribution, lives in :mod:`repro.core`.
+"""
+
+from .base import UNMAPPED_READ_US, FlashTranslationLayer, HostResult
+from .bast import BastFTL
+from .dftl import DftlFTL
+from .fast import FastFTL
+from .last import LastFTL
+from .nftl import NftlFTL
+from .superblock import SuperblockFTL
+from .gc_policy import select_cost_benefit, select_greedy
+from .pool import BlockPool, OutOfBlocksError
+from .pure_page import PageFTL
+from .stats import FtlStats
+
+__all__ = [
+    "UNMAPPED_READ_US",
+    "FlashTranslationLayer",
+    "HostResult",
+    "BastFTL",
+    "DftlFTL",
+    "FastFTL",
+    "LastFTL",
+    "NftlFTL",
+    "SuperblockFTL",
+    "PageFTL",
+    "BlockPool",
+    "OutOfBlocksError",
+    "FtlStats",
+    "select_cost_benefit",
+    "select_greedy",
+]

@@ -1,0 +1,121 @@
+"""Abstract interface shared by every flash translation layer.
+
+An FTL receives page-granular host reads and writes, issues raw flash
+operations against its :class:`~repro.flash.chip.NandFlash`, and returns the
+accumulated latency of each host operation.  The simulator
+(:mod:`repro.sim.simulator`) expands multi-page requests, applies queueing,
+and aggregates response times.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any
+
+from ..flash.chip import NandFlash
+from .stats import FtlStats
+
+
+@dataclass(frozen=True)
+class HostResult:
+    """Outcome of one page-granular host operation.
+
+    Attributes:
+        latency_us: Simulated time the FTL spent serving the operation
+            (raw flash ops it issued, including any GC / merge work it had
+            to do inline - the foreground-GC accounting the paper uses).
+        data: For reads, the stored payload (None if the logical page was
+            never written).  For writes, None.
+    """
+
+    latency_us: float
+    data: Any = None
+
+
+class FlashTranslationLayer(ABC):
+    """Base class for all FTL schemes.
+
+    Subclasses implement :meth:`read` and :meth:`write` (single logical
+    page each) plus :meth:`ram_bytes`, and share the stats object and the
+    unmapped-read convention defined here.
+
+    Args:
+        flash: The raw device this FTL manages (exclusively).
+        logical_pages: Size of the logical address space exported to the
+            host.  Must leave the scheme's required spare blocks free; each
+            subclass validates its own requirement.
+    """
+
+    #: Human-readable scheme name used in reports.
+    name: str = "abstract"
+
+    #: True when the scheme programs pages at arbitrary in-block offsets
+    #: (BAST/FAST-style in-place data blocks, legal on small-block NAND).
+    #: The simulator disables the chip's sequential-programming check for
+    #: such schemes.
+    requires_random_program: bool = False
+
+    def __init__(self, flash: NandFlash, logical_pages: int):
+        if logical_pages <= 0:
+            raise ValueError("logical_pages must be positive")
+        if logical_pages > flash.geometry.total_pages:
+            raise ValueError(
+                "logical space cannot exceed physical capacity "
+                f"({logical_pages} > {flash.geometry.total_pages})"
+            )
+        self.flash = flash
+        self.logical_pages = logical_pages
+        self.stats = FtlStats()
+
+    # ------------------------------------------------------------------
+    # Host interface
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def read(self, lpn: int) -> HostResult:
+        """Serve a host read of one logical page."""
+
+    @abstractmethod
+    def write(self, lpn: int, data: Any = None) -> HostResult:
+        """Serve a host write of one logical page."""
+
+    def trim(self, lpn: int) -> HostResult:  # pragma: no cover - optional op
+        """Discard a logical page (optional; default is a no-op)."""
+        self._check_lpn(lpn)
+        return HostResult(0.0)
+
+    def background_work(self, budget_us: float) -> float:
+        """Use up to ``budget_us`` of device idle time for housekeeping.
+
+        Returns the simulated time actually consumed (may slightly exceed
+        the budget: a started operation completes).  The default FTL does
+        nothing; schemes with idle-time policies (LazyFTL's background GC)
+        override this.  The simulator calls it whenever an open-loop
+        arrival finds the device idle.
+        """
+        return 0.0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def ram_bytes(self) -> int:
+        """RAM footprint of the scheme's translation structures, in bytes.
+
+        Used by the E9 RAM-budget experiment; follows the paper's
+        convention of 4-byte physical addresses / 8-byte map entries.
+        """
+
+    def _check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self.logical_pages:
+            raise ValueError(
+                f"lpn {lpn} outside logical space [0, {self.logical_pages})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(logical_pages={self.logical_pages})"
+
+
+#: Latency returned for reads of never-written logical pages: the FTL
+#: answers from its mapping metadata without touching flash.
+UNMAPPED_READ_US = 0.0

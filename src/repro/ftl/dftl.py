@@ -1,0 +1,355 @@
+"""DFTL: Demand-based page-level FTL (the strongest published baseline).
+
+DFTL keeps the full page map in flash ("translation pages") and caches hot
+mapping entries in a small RAM table, the **CMT** (cached mapping table).
+A translation miss costs a flash read; evicting a dirty entry costs a
+read-modify-write of its translation page (amortised by *batch eviction*:
+all dirty entries of the same translation page are flushed together).
+Garbage collection updates translation pages directly when it relocates
+data ("lazy copying").
+
+LazyFTL inherits DFTL's in-flash map + RAM directory skeleton but defers and
+batches mapping updates through the UMT instead of paying per-eviction
+read-modify-writes.  Reference: Gupta, Kim, Urgaonkar, "DFTL: a flash
+translation layer employing demand-based selective caching of page-level
+address mappings" (ASPLOS 2009).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..flash.chip import NandFlash
+from ..flash.geometry import MAP_ENTRY_BYTES
+from ..flash.oob import OOBData, PageKind, SequenceCounter
+from .base import UNMAPPED_READ_US, FlashTranslationLayer, HostResult
+from .gc_policy import select_greedy
+from .pool import BlockPool, OutOfBlocksError
+
+
+class _CmtEntry:
+    """One cached mapping entry."""
+
+    __slots__ = ("ppn", "dirty")
+
+    def __init__(self, ppn: Optional[int], dirty: bool):
+        self.ppn = ppn
+        self.dirty = dirty
+
+
+class DftlFTL(FlashTranslationLayer):
+    """Demand-based FTL with a capacity-bounded CMT.
+
+    Args:
+        flash: Raw device.
+        logical_pages: Exported logical space.
+        cmt_entries: CMT capacity in mapping entries (the RAM knob swept by
+            the E9 experiment).
+        gc_free_threshold: GC runs when the free pool is at or below this.
+        batch_eviction: Flush all dirty CMT entries of a translation page
+            together on eviction (DFTL's batching optimisation).
+    """
+
+    name = "DFTL"
+
+    def __init__(
+        self,
+        flash: NandFlash,
+        logical_pages: int,
+        cmt_entries: int = 2048,
+        gc_free_threshold: int = 4,
+        batch_eviction: bool = True,
+    ):
+        super().__init__(flash, logical_pages)
+        if cmt_entries < 1:
+            raise ValueError("cmt_entries must be >= 1")
+        if gc_free_threshold < 3:
+            raise ValueError("gc_free_threshold must be >= 3")
+        pages = flash.geometry.pages_per_block
+        min_blocks = (logical_pages + pages - 1) // pages + gc_free_threshold + 4
+        if flash.geometry.num_blocks < min_blocks:
+            raise ValueError(
+                f"device too small: DFTL needs >= {min_blocks} blocks"
+            )
+        self.cmt_entries = cmt_entries
+        self.gc_free_threshold = gc_free_threshold
+        self.batch_eviction = batch_eviction
+        self.entries_per_page = flash.geometry.map_entries_per_page
+        self.num_tvpns = (
+            logical_pages + self.entries_per_page - 1
+        ) // self.entries_per_page
+        self._gtd: List[Optional[int]] = [None] * self.num_tvpns
+        self._cmt: "OrderedDict[int, _CmtEntry]" = OrderedDict()
+        self._pool = BlockPool(range(flash.geometry.num_blocks))
+        self._data_blocks: Set[int] = set()
+        self._trans_blocks: Set[int] = set()
+        self._data_active: Optional[int] = None
+        self._gc_active: Optional[int] = None
+        self._trans_active: Optional[int] = None
+        self._in_gc = False
+        self._seq = SequenceCounter()
+
+    # ------------------------------------------------------------------
+    # Host interface
+    # ------------------------------------------------------------------
+    def read(self, lpn: int) -> HostResult:
+        self._check_lpn(lpn)
+        self.stats.host_reads += 1
+        ppn, latency = self._lookup(lpn)
+        if ppn is None:
+            return HostResult(latency + UNMAPPED_READ_US)
+        data, _, read_lat = self.flash.read_page(ppn)
+        return HostResult(latency + read_lat, data)
+
+    def write(self, lpn: int, data: Any = None) -> HostResult:
+        self._check_lpn(lpn)
+        self.stats.host_writes += 1
+        _, latency = self._lookup(lpn)
+        latency += self._ensure_data_active()
+        # Re-resolve after space allocation: GC may have relocated the old
+        # copy meanwhile (the CMT entry is kept current by GC).
+        entry = self._cmt[lpn]  # present: _lookup just inserted/refreshed it
+        old_ppn = entry.ppn
+        ppn = self._frontier(self._data_active)
+        latency += self.flash.program_page(
+            ppn, data, OOBData(lpn=lpn, seq=self._seq.next())
+        )
+        if old_ppn is not None:
+            self.flash.invalidate_page(old_ppn)
+        entry.ppn = ppn
+        entry.dirty = True
+        self._cmt.move_to_end(lpn)
+        return HostResult(latency)
+
+    def ram_bytes(self) -> int:
+        """CMT (8 B/entry: lpn + ppn) + GTD (4 B/translation page)."""
+        return self.cmt_entries * 2 * MAP_ENTRY_BYTES + \
+            self.num_tvpns * MAP_ENTRY_BYTES
+
+    # ------------------------------------------------------------------
+    # Translation path
+    # ------------------------------------------------------------------
+    def _tvpn_of(self, lpn: int) -> int:
+        return lpn // self.entries_per_page
+
+    def _lookup(self, lpn: int) -> Tuple[Optional[int], float]:
+        """Resolve lpn via CMT, fetching from flash on a miss."""
+        entry = self._cmt.get(lpn)
+        if entry is not None:
+            self._cmt.move_to_end(lpn)
+            return entry.ppn, 0.0
+        latency = self._make_room()
+        tvpn = self._tvpn_of(lpn)
+        tppn = self._gtd[tvpn]
+        ppn: Optional[int] = None
+        if tppn is not None:
+            content, _, read_lat = self.flash.read_page(tppn)
+            latency += read_lat
+            self.stats.map_reads += 1
+            ppn = content[lpn % self.entries_per_page]
+        self._cmt[lpn] = _CmtEntry(ppn, dirty=False)
+        return ppn, latency
+
+    def _make_room(self) -> float:
+        """Evict until the CMT has room for one more entry."""
+        latency = 0.0
+        while len(self._cmt) >= self.cmt_entries:
+            victim_lpn, victim = next(iter(self._cmt.items()))
+            if not victim.dirty:
+                self._cmt.popitem(last=False)
+                continue
+            latency += self._flush_tvpn(self._tvpn_of(victim_lpn))
+            self._cmt.pop(victim_lpn, None)
+        return latency
+
+    def _flush_tvpn(self, tvpn: int) -> float:
+        """Write back dirty CMT entries of one translation page."""
+        # Reserve the translation-page slot *first*: allocating it may run
+        # GC, and GC can rewrite this very translation page.  Snapshotting
+        # the content before the allocation would clobber GC's update.
+        latency = self._ensure_trans_active()
+        content, read_lat = self._load_tpage(tvpn)
+        latency += read_lat
+        lo = tvpn * self.entries_per_page
+        hi = lo + self.entries_per_page
+        if self.batch_eviction:
+            dirty_lpns = [
+                l for l, e in self._cmt.items() if e.dirty and lo <= l < hi
+            ]
+        else:
+            dirty_lpns = [next(
+                l for l, e in self._cmt.items() if e.dirty and lo <= l < hi
+            )]
+        for l in dirty_lpns:
+            entry = self._cmt[l]
+            content[l - lo] = entry.ppn
+            entry.dirty = False
+        latency += self._program_tpage(tvpn, content)
+        return latency
+
+    def _load_tpage(self, tvpn: int) -> Tuple[List[Optional[int]], float]:
+        """Fetch a translation page's content (fresh empty page if absent)."""
+        tppn = self._gtd[tvpn]
+        if tppn is None:
+            return [None] * self.entries_per_page, 0.0
+        content, _, latency = self.flash.read_page(tppn)
+        self.stats.map_reads += 1
+        return list(content), latency
+
+    def _program_tpage(self, tvpn: int, content: List[Optional[int]]) -> float:
+        """Write a new version of a translation page and update the GTD."""
+        latency = self._ensure_trans_active()
+        ppn = self._frontier(self._trans_active)
+        latency += self.flash.program_page(
+            ppn,
+            content,
+            OOBData(lpn=tvpn, seq=self._seq.next(), kind=PageKind.MAPPING),
+        )
+        self.stats.map_writes += 1
+        old = self._gtd[tvpn]
+        if old is not None:
+            self.flash.invalidate_page(old)
+        self._gtd[tvpn] = ppn
+        return latency
+
+    # ------------------------------------------------------------------
+    # Space management
+    # ------------------------------------------------------------------
+    def _frontier(self, pbn: int) -> int:
+        block = self.flash.block(pbn)
+        return self.flash.geometry.ppn_of(pbn, block.write_ptr)
+
+    def _ensure_data_active(self) -> float:
+        latency = 0.0
+        if self._data_active is not None and \
+                self.flash.block(self._data_active).is_full:
+            self._data_blocks.add(self._data_active)
+            self._data_active = None
+        if self._data_active is None:
+            latency += self._reclaim_if_needed()
+            self._data_active = self._pool.allocate()
+        return latency
+
+    def _ensure_trans_active(self) -> float:
+        """Translation active block.
+
+        Triggers GC when the pool runs low - except while GC itself is
+        running, where the free-threshold reserve covers the allocation
+        (guarding against unbounded recursion).
+        """
+        latency = 0.0
+        while self._trans_active is None or \
+                self.flash.block(self._trans_active).is_full:
+            if self._trans_active is not None:
+                self._trans_blocks.add(self._trans_active)
+                self._trans_active = None
+            if not self._in_gc:
+                latency += self._reclaim_if_needed()
+            if self._trans_active is None:
+                # GC run by the reclaim above may itself have programmed
+                # translation pages and installed a fresh active block
+                # (possibly already full again - the loop handles that);
+                # allocating unconditionally here would leak it.
+                self._trans_active = self._pool.allocate()
+        return latency
+
+    def _gc_destination(self) -> float:
+        if self._gc_active is not None and \
+                self.flash.block(self._gc_active).is_full:
+            self._data_blocks.add(self._gc_active)
+            self._gc_active = None
+        if self._gc_active is None:
+            self._gc_active = self._pool.allocate()
+        return 0.0
+
+    def _reclaim_if_needed(self) -> float:
+        latency = 0.0
+        while len(self._pool) <= self.gc_free_threshold:
+            latency += self._collect_one()
+        return latency
+
+    def _collect_one(self) -> float:
+        candidates = [self.flash.block(b) for b in self._data_blocks]
+        candidates += [self.flash.block(b) for b in self._trans_blocks]
+        victim = select_greedy(candidates)
+        if victim is None:
+            raise OutOfBlocksError("DFTL GC found no victim")
+        if victim.valid_count >= victim.pages_per_block:
+            raise OutOfBlocksError(
+                "DFTL GC victim fully valid - no reclaimable slack"
+            )
+        self.stats.gc_runs += 1
+        self._in_gc = True
+        try:
+            if victim.index in self._trans_blocks:
+                latency = self._collect_trans_block(victim.index)
+            else:
+                latency = self._collect_data_block(victim.index)
+        finally:
+            self._in_gc = False
+        latency += self.flash.erase_block(victim.index)
+        self.stats.gc_erases += 1
+        self._data_blocks.discard(victim.index)
+        self._trans_blocks.discard(victim.index)
+        self._pool.release(victim.index)
+        return latency
+
+    def _collect_trans_block(self, pbn: int) -> float:
+        """Relocate a victim's valid translation pages."""
+        latency = 0.0
+        geometry = self.flash.geometry
+        block = self.flash.block(pbn)
+        for offset in list(block.valid_offsets()):
+            src = geometry.ppn_of(pbn, offset)
+            content, oob, read_lat = self.flash.read_page(src)
+            latency += read_lat
+            self.stats.map_reads += 1
+            latency += self._ensure_trans_active()
+            dst = self._frontier(self._trans_active)
+            latency += self.flash.program_page(
+                dst,
+                content,
+                OOBData(lpn=oob.lpn, seq=self._seq.next(),
+                        kind=PageKind.MAPPING),
+            )
+            self.stats.map_writes += 1
+            self.stats.gc_page_copies += 1
+            self._gtd[oob.lpn] = dst
+            self.flash.invalidate_page(src)
+        return latency
+
+    def _collect_data_block(self, pbn: int) -> float:
+        """Relocate valid data pages and commit their new mappings.
+
+        Mapping updates are grouped per translation page (DFTL's lazy
+        copying): one read-modify-write commits every moved entry of that
+        page.
+        """
+        latency = 0.0
+        geometry = self.flash.geometry
+        block = self.flash.block(pbn)
+        moved: Dict[int, List[Tuple[int, int]]] = {}  # tvpn -> [(lpn, dst)]
+        for offset in list(block.valid_offsets()):
+            src = geometry.ppn_of(pbn, offset)
+            data, oob, read_lat = self.flash.read_page(src)
+            latency += read_lat
+            latency += self._gc_destination()
+            dst = self._frontier(self._gc_active)
+            latency += self.flash.program_page(
+                dst, data, OOBData(lpn=oob.lpn, seq=self._seq.next())
+            )
+            self.flash.invalidate_page(src)
+            self.stats.gc_page_copies += 1
+            moved.setdefault(self._tvpn_of(oob.lpn), []).append((oob.lpn, dst))
+        for tvpn, pairs in moved.items():
+            content, read_lat = self._load_tpage(tvpn)
+            latency += read_lat
+            for lpn, dst in pairs:
+                content[lpn % self.entries_per_page] = dst
+                entry = self._cmt.get(lpn)
+                if entry is not None:
+                    entry.ppn = dst
+                    entry.dirty = False
+            latency += self._program_tpage(tvpn, content)
+        return latency

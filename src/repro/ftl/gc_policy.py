@@ -1,0 +1,57 @@
+"""Garbage-collection victim selection policies.
+
+All shipped FTLs default to the greedy policy (fewest valid pages first),
+the choice of the DFTL/LazyFTL line of work.  Cost-benefit (age-weighted)
+selection is provided for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from ..flash.block import Block
+
+
+def select_greedy(candidates: Iterable[Block]) -> Optional[Block]:
+    """Victim with the fewest valid pages (cheapest to reclaim).
+
+    Ties break toward the lower block index for determinism.  Returns None
+    when there are no candidates.
+    """
+    best: Optional[Block] = None
+    for block in candidates:
+        if best is None or (block.valid_count, block.index) < (
+            best.valid_count,
+            best.index,
+        ):
+            best = block
+    return best
+
+
+def select_cost_benefit(
+    candidates: Iterable[Block],
+    age_of: Callable[[Block], float],
+) -> Optional[Block]:
+    """Classic cost-benefit victim selection (Rosenblum & Ousterhout).
+
+    Maximises ``benefit/cost = age * (1 - u) / (1 + u)`` where ``u`` is the
+    block's valid-page utilisation.  ``age_of`` supplies a staleness value
+    (e.g. current sequence number minus the block's last-program sequence).
+    """
+    best: Optional[Block] = None
+    best_score = float("-inf")
+    for block in candidates:
+        pages = block.pages_per_block
+        u = block.valid_count / pages
+        if u >= 1.0:
+            score = float("-inf")  # nothing reclaimable
+        else:
+            score = age_of(block) * (1.0 - u) / (1.0 + u)
+        if score > best_score or (
+            score == best_score
+            and best is not None
+            and block.index < best.index
+        ):
+            best = block
+            best_score = score
+    return best

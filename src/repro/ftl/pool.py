@@ -1,0 +1,62 @@
+"""Free-block pool shared by all FTL implementations."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Optional
+
+from ..flash.errors import FlashError
+
+
+class OutOfBlocksError(FlashError):
+    """The free pool is empty and the caller could not reclaim space.
+
+    Reaching this means garbage collection was unable to keep up - usually
+    a configuration error (logical space too close to physical capacity).
+    """
+
+
+class BlockPool:
+    """FIFO pool of free (erased) physical blocks.
+
+    FIFO order doubles as crude dynamic wear leveling: freed blocks go to
+    the back, so allocation naturally rotates over the whole device instead
+    of ping-ponging on recently-erased blocks.
+    """
+
+    def __init__(self, blocks: Iterable[int]):
+        self._free: Deque[int] = deque(blocks)
+        self._members = set(self._free)
+        if len(self._members) != len(self._free):
+            raise ValueError("duplicate blocks in pool")
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def __contains__(self, pbn: int) -> bool:
+        return pbn in self._members
+
+    def allocate(self) -> int:
+        """Pop the least-recently-freed block; raises when empty."""
+        if not self._free:
+            raise OutOfBlocksError(
+                "free block pool exhausted - GC failed to reclaim space"
+            )
+        pbn = self._free.popleft()
+        self._members.discard(pbn)
+        return pbn
+
+    def release(self, pbn: int) -> None:
+        """Return an erased block to the pool."""
+        if pbn in self._members:
+            raise ValueError(f"block {pbn} already in the free pool")
+        self._free.append(pbn)
+        self._members.add(pbn)
+
+    def peek(self) -> Optional[int]:
+        """The block the next :meth:`allocate` would return, or None."""
+        return self._free[0] if self._free else None
+
+    def snapshot(self) -> list:
+        """Current free blocks in allocation order (for checkpoints)."""
+        return list(self._free)

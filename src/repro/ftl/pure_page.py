@@ -1,0 +1,156 @@
+"""The ideal page-mapping FTL (the paper's "theoretically optimal" baseline).
+
+Keeps the entire logical-to-physical page map in RAM, writes host pages
+log-structured into an active block, and reclaims space with greedy garbage
+collection.  No mapping traffic ever hits flash, so its response time is a
+lower bound that LazyFTL is measured against ("very close to the
+theoretically optimal solution").
+
+Its RAM cost - 4 bytes per logical page, tens of MB for real devices - is
+exactly what makes it impractical and motivates DFTL and LazyFTL.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Set
+
+from ..flash.chip import NandFlash
+from ..flash.geometry import MAP_ENTRY_BYTES
+from ..flash.oob import OOBData, SequenceCounter
+from .base import UNMAPPED_READ_US, FlashTranslationLayer, HostResult
+from .gc_policy import select_greedy
+from .pool import BlockPool, OutOfBlocksError
+
+
+class PageFTL(FlashTranslationLayer):
+    """Ideal page-level FTL with a fully RAM-resident map.
+
+    Args:
+        flash: Raw device.
+        logical_pages: Exported logical space; must leave at least
+            ``gc_free_threshold + 2`` blocks of slack for GC to function.
+        gc_free_threshold: GC runs whenever the free pool is at or below
+            this many blocks.
+    """
+
+    name = "ideal"
+
+    def __init__(
+        self,
+        flash: NandFlash,
+        logical_pages: int,
+        gc_free_threshold: int = 2,
+    ):
+        super().__init__(flash, logical_pages)
+        if gc_free_threshold < 2:
+            raise ValueError("gc_free_threshold must be >= 2")
+        pages = flash.geometry.pages_per_block
+        min_blocks = (logical_pages + pages - 1) // pages + gc_free_threshold + 2
+        if flash.geometry.num_blocks < min_blocks:
+            raise ValueError(
+                f"device too small: need >= {min_blocks} blocks for "
+                f"{logical_pages} logical pages plus GC slack"
+            )
+        self.gc_free_threshold = gc_free_threshold
+        self._map: List[Optional[int]] = [None] * logical_pages
+        self._pool = BlockPool(range(flash.geometry.num_blocks))
+        self._data_blocks: Set[int] = set()
+        self._active: Optional[int] = None
+        self._gc_active: Optional[int] = None
+        self._seq = SequenceCounter()
+
+    # ------------------------------------------------------------------
+    # Host interface
+    # ------------------------------------------------------------------
+    def read(self, lpn: int) -> HostResult:
+        self._check_lpn(lpn)
+        self.stats.host_reads += 1
+        ppn = self._map[lpn]
+        if ppn is None:
+            return HostResult(UNMAPPED_READ_US)
+        data, _, latency = self.flash.read_page(ppn)
+        return HostResult(latency, data)
+
+    def write(self, lpn: int, data: Any = None) -> HostResult:
+        self._check_lpn(lpn)
+        self.stats.host_writes += 1
+        latency = self._ensure_active()
+        ppn = self._frontier(self._active)
+        latency += self.flash.program_page(
+            ppn, data, OOBData(lpn=lpn, seq=self._seq.next())
+        )
+        old = self._map[lpn]
+        if old is not None:
+            self.flash.invalidate_page(old)
+        self._map[lpn] = ppn
+        return HostResult(latency)
+
+    def ram_bytes(self) -> int:
+        return self.logical_pages * MAP_ENTRY_BYTES
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _frontier(self, pbn: int) -> int:
+        """Physical page number of the block's next free page."""
+        block = self.flash.block(pbn)
+        return self.flash.geometry.ppn_of(pbn, block.write_ptr)
+
+    def _ensure_active(self) -> float:
+        """Make sure the active block has a free page; may run GC."""
+        latency = 0.0
+        if self._active is not None and self.flash.block(self._active).is_full:
+            self._data_blocks.add(self._active)
+            self._active = None
+        if self._active is None:
+            latency += self._reclaim_if_needed()
+            self._active = self._pool.allocate()
+        return latency
+
+    def _reclaim_if_needed(self) -> float:
+        latency = 0.0
+        while len(self._pool) <= self.gc_free_threshold:
+            latency += self._collect_one()
+        return latency
+
+    def _collect_one(self) -> float:
+        """Run one GC pass: relocate a victim's valid pages, erase it."""
+        victim = select_greedy(
+            self.flash.block(b) for b in self._data_blocks
+        )
+        if victim is None:
+            raise OutOfBlocksError("GC found no victim block")
+        if victim.valid_count >= victim.pages_per_block:
+            raise OutOfBlocksError(
+                "GC victim is fully valid - logical space leaves no "
+                "reclaimable slack (reduce logical_pages)"
+            )
+        self.stats.gc_runs += 1
+        latency = 0.0
+        geometry = self.flash.geometry
+        for offset in list(victim.valid_offsets()):
+            src = geometry.ppn_of(victim.index, offset)
+            data, oob, read_lat = self.flash.read_page(src)
+            latency += read_lat
+            latency += self._gc_destination()
+            dst = self._frontier(self._gc_active)
+            latency += self.flash.program_page(
+                dst, data, OOBData(lpn=oob.lpn, seq=self._seq.next())
+            )
+            self._map[oob.lpn] = dst
+            self.flash.invalidate_page(src)
+            self.stats.gc_page_copies += 1
+        latency += self.flash.erase_block(victim.index)
+        self.stats.gc_erases += 1
+        self._data_blocks.discard(victim.index)
+        self._pool.release(victim.index)
+        return latency
+
+    def _gc_destination(self) -> float:
+        """Ensure the GC active block has room; never triggers nested GC."""
+        if self._gc_active is not None and self.flash.block(self._gc_active).is_full:
+            self._data_blocks.add(self._gc_active)
+            self._gc_active = None
+        if self._gc_active is None:
+            self._gc_active = self._pool.allocate()
+        return 0.0

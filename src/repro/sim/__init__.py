@@ -1,0 +1,61 @@
+"""Trace-driven simulation harness.
+
+* :class:`Simulator` / :class:`SimulationResult` - replay a trace through
+  an FTL with FCFS queueing and collect response-time statistics;
+* :func:`build_ftl` / :func:`standard_setup` - scheme construction;
+* :func:`run_scheme` / :func:`compare_schemes` / :func:`sweep` /
+  :class:`DeviceSpec` - cross-scheme experiments;
+* :func:`verified_replay` - end-to-end data-integrity checking;
+* :mod:`~repro.sim.report` - table/series formatting for benchmarks.
+"""
+
+from .export import (
+    CSV_COLUMNS,
+    result_to_dict,
+    result_to_row,
+    results_to_csv,
+    results_to_json,
+)
+from .factory import SCHEMES, build_ftl, default_lazy_config, standard_setup
+from .metrics import LatencyDistribution, ResponseStats
+from .report import format_series, format_table, relative_to
+from .runner import (
+    DEFAULT_OPTIONS,
+    HEADLINE_DEVICE,
+    DeviceSpec,
+    compare_schemes,
+    lazy_headline_options,
+    run_scheme,
+    sweep,
+)
+from .simulator import SimulationResult, Simulator
+from .verify import IntegrityError, VerificationReport, verified_replay
+
+__all__ = [
+    "CSV_COLUMNS",
+    "result_to_dict",
+    "result_to_row",
+    "results_to_csv",
+    "results_to_json",
+    "SCHEMES",
+    "build_ftl",
+    "default_lazy_config",
+    "standard_setup",
+    "LatencyDistribution",
+    "ResponseStats",
+    "format_series",
+    "format_table",
+    "relative_to",
+    "DEFAULT_OPTIONS",
+    "HEADLINE_DEVICE",
+    "lazy_headline_options",
+    "DeviceSpec",
+    "compare_schemes",
+    "run_scheme",
+    "sweep",
+    "SimulationResult",
+    "Simulator",
+    "IntegrityError",
+    "VerificationReport",
+    "verified_replay",
+]

@@ -1,0 +1,73 @@
+"""Export simulation results as JSON or CSV for external analysis.
+
+The benchmark tables are human-oriented; these exporters provide the
+machine-readable form (plotting scripts, regression tracking, spreadsheet
+imports).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, List, TextIO
+
+from .simulator import SimulationResult
+
+
+def result_to_dict(result: SimulationResult) -> Dict[str, object]:
+    """Full, JSON-serialisable view of one run."""
+    return {
+        "scheme": result.scheme,
+        "trace": result.trace_name,
+        "requests": result.requests,
+        "page_ops": result.page_ops,
+        "responses": result.responses.summary(),
+        "flash": result.flash.as_dict(),
+        "ftl": result.ftl_stats.as_dict(),
+        "wear": result.wear,
+        "ram_bytes": result.ram_bytes,
+        "device_busy_us": result.device_busy_us,
+    }
+
+
+def results_to_json(
+    results: Dict[str, SimulationResult], stream: TextIO, indent: int = 2
+) -> None:
+    """Write a scheme->result mapping as a JSON document."""
+    payload = {name: result_to_dict(r) for name, r in results.items()}
+    json.dump(payload, stream, indent=indent, sort_keys=True)
+    stream.write("\n")
+
+
+#: Columns of the flat CSV export, in order.
+CSV_COLUMNS = [
+    "scheme", "trace", "requests", "page_ops",
+    "mean_us", "p50_us", "p95_us", "p99_us", "max_us",
+    "erases", "merges", "gc_copies", "merge_copies",
+    "map_reads", "map_writes", "converts", "batched_commits",
+    "ram_bytes", "device_busy_us", "wear_cv",
+]
+
+
+def result_to_row(result: SimulationResult) -> List[object]:
+    """One flat CSV row for a run."""
+    s = result.responses.overall.summary()
+    f = result.ftl_stats
+    return [
+        result.scheme, result.trace_name, result.requests, result.page_ops,
+        s["mean_us"], s["p50_us"], s["p95_us"], s["p99_us"], s["max_us"],
+        result.flash.block_erases, f.merges_total, f.gc_page_copies,
+        f.merge_page_copies, f.map_reads, f.map_writes, f.converts,
+        f.batched_commits, result.ram_bytes, result.device_busy_us,
+        result.wear["cv"],
+    ]
+
+
+def results_to_csv(
+    results: Dict[str, SimulationResult], stream: TextIO
+) -> None:
+    """Write a scheme->result mapping as CSV (one row per scheme)."""
+    writer = csv.writer(stream)
+    writer.writerow(CSV_COLUMNS)
+    for result in results.values():
+        writer.writerow(result_to_row(result))

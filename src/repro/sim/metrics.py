@@ -1,0 +1,113 @@
+"""Latency distributions and response-time statistics."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+
+class LatencyDistribution:
+    """Accumulates latency samples and answers summary queries.
+
+    Keeps raw samples (traces in this reproduction are at most a few
+    hundred thousand requests), so percentiles are exact.
+    """
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._total = 0.0
+        self._sorted = True
+
+    def add(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("latency samples must be non-negative")
+        if self._samples and value < self._samples[-1]:
+            self._sorted = False
+        self._samples.append(value)
+        self._total += value
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._total / len(self._samples) if self._samples else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self._samples) if self._samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact q-quantile (0 < q <= 100), nearest-rank method."""
+        if not 0 < q <= 100:
+            raise ValueError("q must be in (0, 100]")
+        if not self._samples:
+            return 0.0
+        self._ensure_sorted()
+        rank = max(1, math.ceil(q / 100.0 * len(self._samples)))
+        return self._samples[rank - 1]
+
+    def cdf_points(self, resolution: int = 100) -> List[tuple]:
+        """(latency, cumulative fraction) pairs for CDF plots (E6)."""
+        if not self._samples:
+            return []
+        self._ensure_sorted()
+        n = len(self._samples)
+        points = []
+        for i in range(1, resolution + 1):
+            idx = max(0, math.ceil(i / resolution * n) - 1)
+            points.append((self._samples[idx], i / resolution))
+        return points
+
+    def summary(self) -> Dict[str, float]:
+        """Mean / tail figures used by every benchmark report."""
+        return {
+            "count": self.count,
+            "mean_us": self.mean,
+            "p50_us": self.percentile(50),
+            "p95_us": self.percentile(95),
+            "p99_us": self.percentile(99),
+            "p999_us": self.percentile(99.9) if self.count >= 1000
+            else self.percentile(99),
+            "max_us": self.max,
+        }
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+
+
+class ResponseStats:
+    """Per-operation-type response-time distributions."""
+
+    def __init__(self) -> None:
+        self.overall = LatencyDistribution()
+        self.reads = LatencyDistribution()
+        self.writes = LatencyDistribution()
+
+    def record(self, is_write: bool, response_us: float) -> None:
+        self.overall.add(response_us)
+        if is_write:
+            self.writes.add(response_us)
+        else:
+            self.reads.add(response_us)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        return {
+            "overall": self.overall.summary(),
+            "reads": self.reads.summary(),
+            "writes": self.writes.summary(),
+        }

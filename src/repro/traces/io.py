@@ -1,0 +1,87 @@
+"""Save/load traces in a simple line format.
+
+Generated workloads can be persisted so experiments are replayable and
+shareable without re-running generators (or to freeze a slice of a parsed
+real trace).  Format, one request per line::
+
+    # repro-trace v1 name=<name>
+    W <lpn> <npages> [<arrival_us>]
+    R <lpn> <npages> [<arrival_us>]
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TextIO
+
+from .model import IORequest, OpType, Trace
+
+_HEADER_PREFIX = "# repro-trace v1"
+
+
+class TraceFormatError(ValueError):
+    """A trace file line could not be parsed."""
+
+
+def dump_trace(trace: Trace, stream: TextIO) -> None:
+    """Serialise a trace to an open text stream."""
+    stream.write(f"{_HEADER_PREFIX} name={trace.name}\n")
+    for r in trace:
+        code = "W" if r.is_write else "R"
+        if r.arrival_us is None:
+            stream.write(f"{code} {r.lpn} {r.npages}\n")
+        else:
+            stream.write(f"{code} {r.lpn} {r.npages} {r.arrival_us!r}\n")
+
+
+def save_trace(trace: Trace, path: str) -> None:
+    """Serialise a trace to a file."""
+    with open(path, "w") as f:
+        dump_trace(trace, f)
+
+
+def parse_trace(stream: TextIO, name: Optional[str] = None) -> Trace:
+    """Deserialise a trace from an open text stream."""
+    requests: List[IORequest] = []
+    trace_name = name or "trace"
+    for lineno, line in enumerate(stream, start=1):
+        text = line.strip()
+        if not text:
+            continue
+        if text.startswith("#"):
+            if text.startswith(_HEADER_PREFIX) and "name=" in text:
+                header_name = text.split("name=", 1)[1].strip()
+                if name is None and header_name:
+                    trace_name = header_name
+            continue
+        parts = text.split()
+        if len(parts) not in (3, 4):
+            raise TraceFormatError(
+                f"line {lineno}: expected 3 or 4 fields, got {len(parts)}"
+            )
+        code = parts[0].upper()
+        if code == "W":
+            op = OpType.WRITE
+        elif code == "R":
+            op = OpType.READ
+        else:
+            raise TraceFormatError(f"line {lineno}: unknown op {parts[0]!r}")
+        try:
+            lpn = int(parts[1])
+            npages = int(parts[2])
+            arrival = float(parts[3]) if len(parts) == 4 else None
+        except ValueError as exc:
+            raise TraceFormatError(f"line {lineno}: bad number") from exc
+        try:
+            requests.append(IORequest(op, lpn, npages, arrival_us=arrival))
+        except ValueError as exc:
+            raise TraceFormatError(f"line {lineno}: {exc}") from exc
+    return Trace(requests, name=trace_name)
+
+
+def load_trace(path: str, name: Optional[str] = None) -> Trace:
+    """Deserialise a trace from a file.
+
+    The header's recorded name is used unless ``name`` overrides it.
+    """
+    with open(path) as f:
+        return parse_trace(f, name=name)

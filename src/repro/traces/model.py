@@ -1,0 +1,147 @@
+"""I/O trace model: requests, traces, and page-level expansion.
+
+A trace is an ordered sequence of host requests.  Requests address logical
+*pages* (the FTL's unit); parsers for sector-granular formats (SPC) convert
+on the way in.  Arrival timestamps are optional:
+
+* ``arrival_us`` set -> *open-loop* replay: the simulator queues requests
+  that arrive while the device is busy, so response time includes queueing
+  delay (this is how trace timestamps are honoured);
+* ``arrival_us is None`` -> *closed-loop* replay: each request is issued as
+  soon as the previous one completes, so response time equals service time.
+  Synthetic generators default to closed-loop, which isolates FTL overheads
+  from arrival-process artefacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, List, Optional, Sequence
+
+
+class OpType(Enum):
+    """Host operation type."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class IORequest:
+    """One host request against the logical address space.
+
+    Attributes:
+        op: Read or write.
+        lpn: First logical page touched.
+        npages: Number of consecutive logical pages touched (>= 1).
+        arrival_us: Optional arrival timestamp for open-loop replay.
+    """
+
+    op: OpType
+    lpn: int
+    npages: int = 1
+    arrival_us: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.lpn < 0:
+            raise ValueError("lpn must be non-negative")
+        if self.npages < 1:
+            raise ValueError("npages must be >= 1")
+        if self.arrival_us is not None and self.arrival_us < 0:
+            raise ValueError("arrival_us must be non-negative")
+
+    @property
+    def is_write(self) -> bool:
+        return self.op is OpType.WRITE
+
+    @property
+    def pages(self) -> range:
+        """The logical pages this request touches."""
+        return range(self.lpn, self.lpn + self.npages)
+
+
+class Trace:
+    """An ordered collection of :class:`IORequest` with summary accessors."""
+
+    def __init__(self, requests: Sequence[IORequest], name: str = "trace"):
+        self.requests: List[IORequest] = list(requests)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[IORequest]:
+        return iter(self.requests)
+
+    def __getitem__(self, i):
+        return self.requests[i]
+
+    # ------------------------------------------------------------------
+    # Summary properties used by reports and by E2 (trace characteristics)
+    # ------------------------------------------------------------------
+    @property
+    def page_ops(self) -> int:
+        """Total page-granular operations once requests are expanded."""
+        return sum(r.npages for r in self.requests)
+
+    @property
+    def write_page_ops(self) -> int:
+        return sum(r.npages for r in self.requests if r.is_write)
+
+    @property
+    def read_page_ops(self) -> int:
+        return self.page_ops - self.write_page_ops
+
+    @property
+    def write_ratio(self) -> float:
+        """Fraction of page operations that are writes."""
+        total = self.page_ops
+        return self.write_page_ops / total if total else 0.0
+
+    @property
+    def max_lpn(self) -> int:
+        """Highest logical page touched (-1 for an empty trace)."""
+        return max((r.lpn + r.npages - 1 for r in self.requests), default=-1)
+
+    def footprint(self) -> int:
+        """Number of distinct logical pages touched."""
+        seen = set()
+        for r in self.requests:
+            seen.update(r.pages)
+        return len(seen)
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A sub-trace of requests [start, stop)."""
+        return Trace(self.requests[start:stop], name=f"{self.name}[{start}:{stop}]")
+
+    def scaled_to(self, n_requests: int) -> "Trace":
+        """Truncate (or cycle) the trace to exactly ``n_requests`` requests."""
+        if not self.requests:
+            raise ValueError("cannot scale an empty trace")
+        reqs: List[IORequest] = []
+        i = 0
+        while len(reqs) < n_requests:
+            r = self.requests[i % len(self.requests)]
+            reqs.append(r)
+            i += 1
+        return Trace(reqs, name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Trace({self.name!r}, {len(self.requests)} reqs, "
+            f"{self.page_ops} page ops, w={self.write_ratio:.2f})"
+        )
+
+
+def merge_traces(traces: Sequence[Trace], name: str = "merged") -> Trace:
+    """Interleave open-loop traces by arrival time (or concatenate closed-loop)."""
+    if any(r.arrival_us is None for t in traces for r in t):
+        requests: List[IORequest] = []
+        for t in traces:
+            requests.extend(t.requests)
+        return Trace(requests, name=name)
+    requests = sorted(
+        (r for t in traces for r in t), key=lambda r: r.arrival_us
+    )
+    return Trace(requests, name=name)

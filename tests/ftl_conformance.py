@@ -1,0 +1,155 @@
+"""Behavioural conformance suite shared by every FTL implementation.
+
+Each FTL test module subclasses :class:`FTLConformance` and provides a
+``make_ftl`` factory.  The suite checks the contract every scheme must obey:
+read-your-writes under heavy overwrite pressure, GC sustainability, latency
+accounting sanity, and bounds checking.  Running the same assertions against
+all five schemes is what makes the cross-scheme benchmarks trustworthy.
+"""
+
+import random
+
+import pytest
+
+from repro.flash import FlashGeometry, NandFlash, UNIT_TIMING
+
+
+class FTLConformance:
+    """Mixin of behavioural tests; subclasses define ``make_ftl``."""
+
+    #: Device used by the conformance workloads (small so GC churns).
+    GEOMETRY = FlashGeometry(num_blocks=48, pages_per_block=16, page_size=2048)
+    #: Logical space: ~62 % of physical, plenty of GC slack.
+    LOGICAL_PAGES = 480
+
+    def make_ftl(self, flash):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def new_ftl(self):
+        flash = NandFlash(self.GEOMETRY, timing=UNIT_TIMING)
+        ftl = self.make_ftl(flash)
+        flash.enforce_sequential = not ftl.requires_random_program
+        return ftl
+
+    # ------------------------------------------------------------------
+    # Basic contract
+    # ------------------------------------------------------------------
+    def test_unwritten_page_reads_none(self):
+        ftl = self.new_ftl()
+        assert ftl.read(0).data is None
+
+    def test_read_your_write(self):
+        ftl = self.new_ftl()
+        ftl.write(7, "payload")
+        assert ftl.read(7).data == "payload"
+
+    def test_overwrite_returns_latest(self):
+        ftl = self.new_ftl()
+        for v in range(5):
+            ftl.write(3, f"v{v}")
+        assert ftl.read(3).data == "v4"
+
+    def test_writes_do_not_leak_across_lpns(self):
+        ftl = self.new_ftl()
+        ftl.write(1, "one")
+        ftl.write(2, "two")
+        assert ftl.read(1).data == "one"
+        assert ftl.read(2).data == "two"
+
+    def test_lpn_bounds_checked(self):
+        ftl = self.new_ftl()
+        with pytest.raises(ValueError):
+            ftl.read(self.LOGICAL_PAGES)
+        with pytest.raises(ValueError):
+            ftl.write(-1, "x")
+
+    def test_latencies_are_nonnegative_and_finite(self):
+        ftl = self.new_ftl()
+        r = ftl.write(0, "x")
+        assert r.latency_us >= 0
+        r = ftl.read(0)
+        assert 0 <= r.latency_us < 1e9
+
+    # ------------------------------------------------------------------
+    # Sustained pressure: GC correctness
+    # ------------------------------------------------------------------
+    def test_random_overwrite_integrity(self):
+        """Write far more pages than the device holds; verify every value."""
+        ftl = self.new_ftl()
+        rng = random.Random(42)
+        expected = {}
+        n_ops = self.LOGICAL_PAGES * 6
+        for i in range(n_ops):
+            lpn = rng.randrange(self.LOGICAL_PAGES)
+            ftl.write(lpn, (lpn, i))
+            expected[lpn] = (lpn, i)
+        for lpn, value in expected.items():
+            assert ftl.read(lpn).data == value, f"lpn {lpn} corrupted"
+
+    def test_sequential_overwrite_integrity(self):
+        ftl = self.new_ftl()
+        for sweep in range(4):
+            for lpn in range(self.LOGICAL_PAGES):
+                ftl.write(lpn, (lpn, sweep))
+        for lpn in range(self.LOGICAL_PAGES):
+            assert ftl.read(lpn).data == (lpn, 3)
+
+    def test_hot_spot_hammering(self):
+        """Hammer a few pages; GC must not starve or corrupt them."""
+        ftl = self.new_ftl()
+        hot = [0, 1, 2, 3]
+        for i in range(2500):
+            lpn = hot[i % len(hot)]
+            ftl.write(lpn, i)
+        for j, lpn in enumerate(hot):
+            last_i = max(i for i in range(2500) if i % len(hot) == j)
+            assert ftl.read(lpn).data == last_i
+
+    def test_gc_actually_runs_under_pressure(self):
+        ftl = self.new_ftl()
+        rng = random.Random(1)
+        for i in range(self.LOGICAL_PAGES * 6):
+            ftl.write(rng.randrange(self.LOGICAL_PAGES), i)
+        assert ftl.flash.stats.block_erases > 0
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def test_host_counters(self):
+        ftl = self.new_ftl()
+        for lpn in range(10):
+            ftl.write(lpn, lpn)
+        for lpn in range(5):
+            ftl.read(lpn)
+        assert ftl.stats.host_writes == 10
+        assert ftl.stats.host_reads == 5
+
+    def test_ram_bytes_positive(self):
+        ftl = self.new_ftl()
+        assert ftl.ram_bytes() > 0
+
+    def test_valid_page_conservation(self):
+        """After any workload, total valid data pages == live logical pages."""
+        ftl = self.new_ftl()
+        rng = random.Random(9)
+        live = set()
+        for i in range(self.LOGICAL_PAGES * 4):
+            lpn = rng.randrange(self.LOGICAL_PAGES)
+            ftl.write(lpn, i)
+            live.add(lpn)
+        valid_data = self.count_valid_data_pages(ftl)
+        assert valid_data == len(live)
+
+    @staticmethod
+    def count_valid_data_pages(ftl):
+        """Count VALID pages holding host data (not mapping/checkpoint)."""
+        from repro.flash import PageKind
+
+        count = 0
+        for block in ftl.flash.blocks:
+            for page in block.pages:
+                if page.is_valid and (
+                    page.oob is None or page.oob.kind is PageKind.DATA
+                ):
+                    count += 1
+        return count

@@ -1,0 +1,56 @@
+"""Tests for the device-time breakdown analysis."""
+
+import pytest
+
+from repro.analysis import (
+    BREAKDOWN_HEADERS,
+    breakdown_rows,
+    overhead_ratio,
+    time_breakdown,
+)
+from repro.flash import FlashGeometry, NandFlash, UNIT_TIMING
+from repro.ftl import PageFTL
+from repro.ftl.stats import FtlStats
+from repro.sim import Simulator
+from repro.traces import uniform_random
+
+
+class TestTimeBreakdown:
+    def test_pure_host_traffic(self):
+        stats = FtlStats(host_reads=10, host_writes=5)
+        b = time_breakdown(stats, UNIT_TIMING)
+        assert b["host_reads_us"] == 10.0
+        assert b["host_writes_us"] == 5.0
+        assert b["copy_us"] == 0.0
+        assert overhead_ratio(stats, UNIT_TIMING) == 0.0
+
+    def test_copies_count_read_plus_program(self):
+        stats = FtlStats(gc_page_copies=3, merge_page_copies=2)
+        b = time_breakdown(stats, UNIT_TIMING)
+        assert b["copy_us"] == 10.0  # 5 copies x (1 read + 1 program)
+
+    def test_overhead_ratio(self):
+        stats = FtlStats(host_writes=10, gc_page_copies=5)
+        # host 10 us; overhead 5 x 2 = 10 us -> ratio 1.0
+        assert overhead_ratio(stats, UNIT_TIMING) == pytest.approx(1.0)
+
+    def test_zero_host_traffic(self):
+        assert overhead_ratio(FtlStats(gc_page_copies=5), UNIT_TIMING) == 0.0
+
+    def test_breakdown_consistent_with_flash_totals(self):
+        """Attributed time must equal the device's measured total."""
+        flash = NandFlash(FlashGeometry(num_blocks=32, pages_per_block=8),
+                          timing=UNIT_TIMING)
+        ftl = PageFTL(flash, logical_pages=128)
+        result = Simulator(ftl).run(uniform_random(1500, 128, seed=0))
+        b = time_breakdown(result.ftl_stats, UNIT_TIMING)
+        assert sum(b.values()) == pytest.approx(result.flash.total_us)
+
+    def test_rows_match_headers(self):
+        flash = NandFlash(FlashGeometry(num_blocks=32, pages_per_block=8),
+                          timing=UNIT_TIMING)
+        ftl = PageFTL(flash, logical_pages=128)
+        result = Simulator(ftl).run(uniform_random(200, 128, seed=0))
+        rows = breakdown_rows({"ideal": result}, UNIT_TIMING)
+        assert len(rows) == 1
+        assert len(rows[0]) == len(BREAKDOWN_HEADERS)

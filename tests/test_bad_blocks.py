@@ -1,0 +1,126 @@
+"""Tests for bad-block management and device end-of-life semantics."""
+
+import random
+
+import pytest
+
+from repro.core import LazyConfig, LazyFTL
+from repro.flash import (
+    BadBlockError,
+    FlashGeometry,
+    NandFlash,
+    UNIT_TIMING,
+)
+from repro.ftl.pool import OutOfBlocksError
+
+
+class TestChipBadBlocks:
+    def test_factory_bad_blocks(self):
+        chip = NandFlash(FlashGeometry(num_blocks=8, pages_per_block=4),
+                         initial_bad_blocks=[2, 5])
+        assert chip.bad_blocks() == [2, 5]
+        with pytest.raises(BadBlockError):
+            chip.program_page(chip.geometry.ppn_of(2, 0), "x")
+        with pytest.raises(BadBlockError):
+            chip.erase_block(5)
+
+    def test_endurance_limit_fails_the_exhausting_erase(self):
+        chip = NandFlash(FlashGeometry(num_blocks=4, pages_per_block=2),
+                         timing=UNIT_TIMING, endurance=3)
+        for _ in range(3):
+            chip.erase_block(0)
+        with pytest.raises(BadBlockError) as info:
+            chip.erase_block(0)
+        assert info.value.pbn == 0
+        assert chip.block(0).is_bad
+        assert chip.bad_blocks() == [0]
+
+    def test_bad_block_contents_are_gone(self):
+        chip = NandFlash(FlashGeometry(num_blocks=4, pages_per_block=2),
+                         timing=UNIT_TIMING, endurance=1)
+        chip.program_page(0, "x")
+        chip.invalidate_page(0)
+        chip.erase_block(0)
+        with pytest.raises(BadBlockError):
+            chip.erase_block(0)
+        assert chip.block(0).is_empty
+
+    def test_other_blocks_unaffected(self):
+        chip = NandFlash(FlashGeometry(num_blocks=4, pages_per_block=2),
+                         timing=UNIT_TIMING, endurance=1)
+        chip.erase_block(0)
+        with pytest.raises(BadBlockError):
+            chip.erase_block(0)
+        chip.erase_block(1)  # still fine
+
+    def test_invalid_endurance_rejected(self):
+        with pytest.raises(ValueError):
+            NandFlash(FlashGeometry(num_blocks=4, pages_per_block=2),
+                      endurance=0)
+
+    def test_invalid_bad_block_index_rejected(self):
+        from repro.flash import OutOfRangeError
+        with pytest.raises(OutOfRangeError):
+            NandFlash(FlashGeometry(num_blocks=4, pages_per_block=2),
+                      initial_bad_blocks=[9])
+
+
+class TestLazyFTLBadBlocks:
+    def make(self, endurance=None, bad=(), blocks=48):
+        flash = NandFlash(
+            FlashGeometry(num_blocks=blocks, pages_per_block=8,
+                          page_size=64),
+            timing=UNIT_TIMING,
+            endurance=endurance,
+            initial_bad_blocks=bad,
+        )
+        return LazyFTL(flash, logical_pages=96,
+                       config=LazyConfig(uba_blocks=4, cba_blocks=2,
+                                         gc_free_threshold=3))
+
+    def test_factory_bad_blocks_excluded_from_pool(self):
+        ftl = self.make(bad=[10, 20])
+        assert 10 not in ftl._pool
+        assert 20 not in ftl._pool
+
+    def test_bad_anchor_rejected(self):
+        flash = NandFlash(
+            FlashGeometry(num_blocks=48, pages_per_block=8, page_size=64),
+            initial_bad_blocks=[0],
+        )
+        with pytest.raises(ValueError):
+            LazyFTL(flash, logical_pages=96,
+                    config=LazyConfig(uba_blocks=4, cba_blocks=2,
+                                      gc_free_threshold=3))
+
+    def test_wear_out_retired_without_data_loss(self):
+        ftl = self.make(endurance=28)
+        rng = random.Random(0)
+        shadow = {}
+        retired_seen = 0
+        for i in range(8000):
+            lpn = rng.randrange(96)
+            ftl.write(lpn, (lpn, i))
+            shadow[lpn] = (lpn, i)
+            retired_seen = ftl.stats.bad_blocks_retired
+        assert retired_seen > 0, "endurance 28 must retire some blocks"
+        for lpn, value in shadow.items():
+            assert ftl.read(lpn).data == value
+
+    def test_device_end_of_life_raises_cleanly(self):
+        """When wear-out eats all spare capacity, writes fail with
+        OutOfBlocksError; previously written data remains readable."""
+        ftl = self.make(endurance=4)
+        rng = random.Random(1)
+        shadow = {}
+        died = False
+        try:
+            for i in range(60000):
+                lpn = rng.randrange(96)
+                ftl.write(lpn, (lpn, i))
+                shadow[lpn] = (lpn, i)
+        except OutOfBlocksError:
+            died = True
+        assert died, "endurance 4 must exhaust the device"
+        for lpn, value in shadow.items():
+            assert ftl.read(lpn).data == value

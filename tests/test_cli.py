@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+SMALL_DEVICE = [
+    "--blocks", "96", "--pages-per-block", "16", "--page-size", "512",
+    "--logical-fraction", "0.7",
+]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.trace == "financial1"
+        assert "LazyFTL" in args.schemes
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--schemes", "CFTL"])
+
+    def test_unknown_trace_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--trace", "nonsense"])
+
+
+class TestCommands:
+    def test_compare_small(self, capsys):
+        rc = main([
+            "compare", "--trace", "random", "--requests", "300",
+            "--schemes", "LazyFTL", "ideal", *SMALL_DEVICE,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "LazyFTL" in out
+        assert "vs theoretically optimal" in out
+
+    def test_characterize(self, capsys):
+        rc = main([
+            "characterize", "--trace", "tpcc", "--requests", "500",
+            *SMALL_DEVICE,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "write_ratio" in out
+
+    def test_replay_spc(self, tmp_path, capsys):
+        p = tmp_path / "t.spc"
+        p.write_text("\n".join(
+            f"0,{i * 8},2048,W,{i * 0.001}" for i in range(50)
+        ))
+        rc = main([
+            "replay-spc", str(p), "--schemes", "ideal", *SMALL_DEVICE,
+        ])
+        assert rc == 0
+        assert "replay of" in capsys.readouterr().out
+
+    def test_replay_spc_too_big(self, tmp_path, capsys):
+        p = tmp_path / "big.spc"
+        # no compaction issue: compact=True densifies, so build many pages
+        p.write_text("\n".join(
+            f"0,{i * 8},2048,W,{i * 0.001}" for i in range(5000)
+        ))
+        rc = main([
+            "replay-spc", str(p), "--schemes", "ideal",
+            "--blocks", "24", "--pages-per-block", "16",
+            "--page-size", "512", "--logical-fraction", "0.7",
+        ])
+        assert rc == 2

@@ -1,0 +1,182 @@
+"""Unit tests for LazyFTL's building blocks: GTD, UMT, areas, config."""
+
+import pytest
+
+from repro.core import (
+    BlockArea,
+    DataBlockSet,
+    GlobalTranslationDirectory,
+    LazyConfig,
+    UmtEntry,
+    UpdateMappingTable,
+    group_by_tvpn,
+)
+
+
+class TestGTD:
+    def test_starts_unmapped(self):
+        gtd = GlobalTranslationDirectory(4)
+        assert len(gtd) == 4
+        assert all(gtd.get(t) is None for t in range(4))
+        assert gtd.materialized() == 0
+
+    def test_set_get(self):
+        gtd = GlobalTranslationDirectory(4)
+        gtd.set(2, 99)
+        assert gtd.get(2) == 99
+        assert gtd.materialized() == 1
+
+    def test_ram_bytes(self):
+        assert GlobalTranslationDirectory(100).ram_bytes() == 400
+
+    def test_snapshot_restore_roundtrip(self):
+        gtd = GlobalTranslationDirectory(3)
+        gtd.set(0, 7)
+        snap = gtd.snapshot()
+        other = GlobalTranslationDirectory(3)
+        other.restore(snap)
+        assert other.get(0) == 7
+        assert other.get(1) is None
+
+    def test_restore_size_mismatch(self):
+        with pytest.raises(ValueError):
+            GlobalTranslationDirectory(3).restore([None] * 4)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalTranslationDirectory(0)
+
+
+class TestUMT:
+    def test_set_get_pop(self):
+        umt = UpdateMappingTable()
+        umt.set(5, 100, cold=True)
+        assert 5 in umt
+        assert umt.get(5) == UmtEntry(100, True)
+        assert umt.pop(5) == UmtEntry(100, True)
+        assert 5 not in umt
+        assert umt.pop(5) is None
+
+    def test_points_to(self):
+        umt = UpdateMappingTable()
+        umt.set(1, 10)
+        assert umt.points_to(1, 10)
+        assert not umt.points_to(1, 11)
+        assert not umt.points_to(2, 10)
+
+    def test_replacement(self):
+        umt = UpdateMappingTable()
+        umt.set(1, 10)
+        umt.set(1, 20, cold=True)
+        assert umt.get(1) == UmtEntry(20, True)
+        assert len(umt) == 1
+
+    def test_ram_bytes_is_eight_per_entry(self):
+        umt = UpdateMappingTable()
+        for i in range(5):
+            umt.set(i, i)
+        assert umt.ram_bytes() == 40
+
+    def test_snapshot_restore(self):
+        umt = UpdateMappingTable()
+        umt.set(1, 10)
+        umt.set(2, 20, cold=True)
+        other = UpdateMappingTable()
+        other.restore(umt.snapshot())
+        assert other.get(2) == UmtEntry(20, True)
+        assert len(other) == 2
+
+
+class TestGroupByTvpn:
+    def test_groups_by_mapping_page(self):
+        pairs = [(0, 100), (15, 101), (16, 102), (35, 103)]
+        groups = group_by_tvpn(pairs, entries_per_page=16)
+        assert set(groups) == {0, 1, 2}
+        assert groups[0] == [(0, 100), (15, 101)]
+        assert groups[1] == [(16, 102)]
+        assert groups[2] == [(35, 103)]
+
+    def test_empty(self):
+        assert group_by_tvpn([], 16) == {}
+
+
+class TestBlockArea:
+    def test_fifo_discipline(self):
+        area = BlockArea("UBA", capacity=3)
+        area.push(10)
+        area.push(11)
+        assert area.frontier == 11
+        assert area.oldest == 10
+        assert area.pop_oldest() == 10
+        assert area.oldest == 11
+
+    def test_capacity(self):
+        area = BlockArea("UBA", capacity=2)
+        area.push(1)
+        assert not area.is_at_capacity
+        area.push(2)
+        assert area.is_at_capacity
+
+    def test_duplicate_push_rejected(self):
+        area = BlockArea("UBA", capacity=2)
+        area.push(1)
+        with pytest.raises(ValueError):
+            area.push(1)
+
+    def test_pop_empty_rejected(self):
+        with pytest.raises(IndexError):
+            BlockArea("UBA", capacity=2).pop_oldest()
+
+    def test_snapshot_restore(self):
+        area = BlockArea("CBA", capacity=4)
+        for b in (3, 1, 2):
+            area.push(b)
+        other = BlockArea("CBA", capacity=4)
+        other.restore(area.snapshot())
+        assert other.oldest == 3
+        assert other.frontier == 2
+
+    def test_capacity_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            BlockArea("UBA", capacity=1)
+
+
+class TestDataBlockSet:
+    def test_membership(self):
+        dba = DataBlockSet()
+        dba.add(5)
+        assert 5 in dba
+        assert len(dba) == 1
+        dba.discard(5)
+        assert 5 not in dba
+        dba.discard(5)  # idempotent
+
+    def test_snapshot_sorted(self):
+        dba = DataBlockSet()
+        for b in (9, 3, 7):
+            dba.add(b)
+        assert dba.snapshot() == [3, 7, 9]
+
+
+class TestLazyConfig:
+    def test_defaults_valid(self):
+        cfg = LazyConfig()
+        assert cfg.uba_blocks >= 2
+        assert cfg.cba_blocks >= 2
+
+    @pytest.mark.parametrize("kwargs", [
+        {"uba_blocks": 1},
+        {"cba_blocks": 1},
+        {"gc_free_threshold": 2},
+        {"checkpoint_interval": -1},
+        {"map_cache_pages": -1},
+        {"wear_threshold": 0},
+    ])
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LazyConfig(**kwargs)
+
+    def test_frozen(self):
+        cfg = LazyConfig()
+        with pytest.raises(AttributeError):
+            cfg.uba_blocks = 16

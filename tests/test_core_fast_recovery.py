@@ -1,0 +1,87 @@
+"""Tests for the checkpoint_umt fast-recovery extension."""
+
+import random
+
+import pytest
+
+from repro.core import LazyConfig, LazyFTL, recover
+from repro.flash import FlashGeometry, NandFlash, PowerLossError, UNIT_TIMING
+
+LOGICAL = 96
+
+
+def run_crash(checkpoint_umt, seed=4, fail_after=250):
+    flash = NandFlash(
+        FlashGeometry(num_blocks=40, pages_per_block=8, page_size=64),
+        timing=UNIT_TIMING,
+    )
+    config = LazyConfig(uba_blocks=4, cba_blocks=2, gc_free_threshold=3,
+                        checkpoint_interval=100,
+                        checkpoint_umt=checkpoint_umt)
+    ftl = LazyFTL(flash, LOGICAL, config)
+    rng = random.Random(seed)
+    shadow = {}
+    inflight = None
+    flash.fault.arm_after_programs(fail_after)
+    try:
+        for i in range(10 ** 9):
+            lpn = rng.randrange(LOGICAL)
+            inflight = (lpn, (lpn, i))
+            ftl.write(lpn, (lpn, i))
+            shadow[lpn] = (lpn, i)
+    except PowerLossError:
+        pass
+    recovered, report = recover(flash, LOGICAL, config)
+    return recovered, report, shadow, inflight
+
+
+class TestFastRecovery:
+    @pytest.mark.parametrize("seed", [4, 11, 23])
+    def test_correctness_with_umt_checkpointing(self, seed):
+        recovered, _, shadow, inflight = run_crash(True, seed=seed)
+        for lpn, value in shadow.items():
+            got = recovered.read(lpn).data
+            assert got == value or (
+                inflight and lpn == inflight[0] and got == inflight[1]
+            ), f"lpn {lpn}"
+
+    def test_umt_checkpoint_reduces_recovery_reads(self):
+        _, plain, _, _ = run_crash(False)
+        _, fast, _, _ = run_crash(True)
+        assert fast.pages_read < plain.pages_read
+
+    def test_checkpoint_grows_with_umt(self):
+        flash = NandFlash(
+            FlashGeometry(num_blocks=40, pages_per_block=8, page_size=64),
+            timing=UNIT_TIMING,
+        )
+        config = LazyConfig(uba_blocks=4, cba_blocks=2, gc_free_threshold=3,
+                            checkpoint_umt=True)
+        ftl = LazyFTL(flash, LOGICAL, config)
+        for lpn in range(30):
+            ftl.write(lpn, lpn)
+        writes_before = ftl.stats.checkpoint_writes
+        ftl.checkpoint()
+        with_umt = ftl.stats.checkpoint_writes - writes_before
+        # The same state without the UMT is strictly no larger.
+        flash2 = NandFlash(
+            FlashGeometry(num_blocks=40, pages_per_block=8, page_size=64),
+            timing=UNIT_TIMING,
+        )
+        ftl2 = LazyFTL(flash2, LOGICAL,
+                       LazyConfig(uba_blocks=4, cba_blocks=2,
+                                  gc_free_threshold=3))
+        for lpn in range(30):
+            ftl2.write(lpn, lpn)
+        ftl2.checkpoint()
+        assert with_umt >= ftl2.stats.checkpoint_writes
+
+    def test_post_recovery_writes_still_work(self):
+        recovered, _, shadow, _ = run_crash(True)
+        rng = random.Random(77)
+        for i in range(800):
+            lpn = rng.randrange(LOGICAL)
+            recovered.write(lpn, ("post", i))
+            shadow[lpn] = ("post", i)
+        for lpn, value in shadow.items():
+            assert recovered.read(lpn).data == value

@@ -1,0 +1,245 @@
+"""Crash-recovery tests: checkpointing, OOB scans, and end-to-end power-loss
+survival of acknowledged writes."""
+
+import random
+
+import pytest
+
+from repro.core import LazyConfig, LazyFTL, recover
+from repro.core.recovery import CheckpointError, CheckpointScribe
+from repro.flash import (
+    FlashGeometry,
+    NandFlash,
+    PowerLossError,
+    UNIT_TIMING,
+)
+
+CONFIG = LazyConfig(uba_blocks=4, cba_blocks=2, gc_free_threshold=3)
+LOGICAL = 96
+
+
+def make_flash(blocks=40, pages=8, page_size=64):
+    return NandFlash(
+        FlashGeometry(num_blocks=blocks, pages_per_block=pages,
+                      page_size=page_size),
+        timing=UNIT_TIMING,
+    )
+
+
+def make_lazy(flash=None, **cfg):
+    flash = flash if flash is not None else make_flash()
+    defaults = {"uba_blocks": 4, "cba_blocks": 2, "gc_free_threshold": 3}
+    defaults.update(cfg)
+    return LazyFTL(flash, logical_pages=LOGICAL, config=LazyConfig(**defaults))
+
+
+def run_until_power_loss(ftl, rng, expected, fail_after):
+    """Apply random writes until the armed power fault trips.
+
+    ``expected`` collects acknowledged writes.  Returns the in-flight
+    ``(lpn, value)`` whose write raised: it was never acknowledged, so
+    recovery may legitimately restore either the old value or this one
+    (e.g. when the fault trips inside a piggy-backed checkpoint *after*
+    the data page was programmed).
+    """
+    ftl.flash.fault.arm_after_programs(fail_after)
+    inflight = None
+    try:
+        for i in range(10 ** 9):
+            lpn = rng.randrange(LOGICAL)
+            inflight = (lpn, (lpn, i))
+            ftl.write(lpn, (lpn, i))
+            expected[lpn] = (lpn, i)
+    except PowerLossError:
+        pass
+    return inflight
+
+
+def assert_recovered(recovered, expected, inflight=None):
+    """Every acknowledged write must read back; the single unacknowledged
+    in-flight write may read back as either the old or the new value."""
+    for lpn, value in expected.items():
+        got = recovered.read(lpn).data
+        if got == value:
+            continue
+        if inflight is not None and inflight[0] == lpn \
+                and got == inflight[1]:
+            continue
+        raise AssertionError(f"lpn {lpn}: read {got!r}, expected {value!r}")
+
+
+class TestCheckpointScribe:
+    def test_checkpoint_written_to_anchor(self):
+        ftl = make_lazy()
+        ftl.write(0, "x")
+        ftl.checkpoint()
+        assert ftl.stats.checkpoint_writes >= 1
+        anchor = ftl.flash.block(0)
+        assert anchor.write_ptr > 0
+
+    def test_ping_pong_rotation_preserves_previous_checkpoint(self):
+        ftl = make_lazy()
+        for i in range(40):  # many checkpoints overflow one anchor
+            ftl.write(i % LOGICAL, i)
+            ftl.checkpoint()
+        # Both anchors have been used; at least one complete checkpoint
+        # must always be recoverable.
+        ftl.flash.power_off()
+        recovered, report = recover(ftl.flash, LOGICAL, CONFIG)
+        assert report.checkpoint_found
+
+    def test_oversized_checkpoint_rejected(self):
+        flash = make_flash(blocks=40, pages=2, page_size=8)
+        scribe = CheckpointScribe(
+            flash, (0, 1), __import__("repro.flash", fromlist=["x"]).SequenceCounter(),
+            __import__("repro.ftl.stats", fromlist=["x"]).FtlStats(),
+        )
+        huge = {
+            "maps": {"gtd": [None] * 10000, "full_blocks": [], "frontier": None},
+            "uba": [], "cba": [], "dba": [], "free": [], "seq": 0,
+        }
+        with pytest.raises(CheckpointError):
+            scribe.write(huge)
+
+
+class TestRecoveryBasics:
+    def test_recover_without_any_checkpoint_falls_back_to_full_scan(self):
+        ftl = make_lazy()
+        for lpn in range(20):
+            ftl.write(lpn, ("v", lpn))
+        ftl.flash.power_off()
+        recovered, report = recover(ftl.flash, LOGICAL, CONFIG)
+        assert not report.checkpoint_found
+        for lpn in range(20):
+            assert recovered.read(lpn).data == ("v", lpn)
+
+    def test_recover_with_checkpoint_and_no_later_writes(self):
+        ftl = make_lazy()
+        for lpn in range(20):
+            ftl.write(lpn, ("v", lpn))
+        ftl.checkpoint()
+        ftl.flash.power_off()
+        recovered, report = recover(ftl.flash, LOGICAL, CONFIG)
+        assert report.checkpoint_found
+        for lpn in range(20):
+            assert recovered.read(lpn).data == ("v", lpn)
+
+    def test_recover_finds_writes_after_checkpoint(self):
+        ftl = make_lazy()
+        for lpn in range(10):
+            ftl.write(lpn, ("old", lpn))
+        ftl.checkpoint()
+        for lpn in range(10):
+            ftl.write(lpn, ("new", lpn))
+        ftl.flash.power_off()
+        recovered, report = recover(ftl.flash, LOGICAL, CONFIG)
+        for lpn in range(10):
+            assert recovered.read(lpn).data == ("new", lpn)
+
+    def test_recovered_umt_matches_live_umt(self):
+        ftl = make_lazy()
+        rng = random.Random(4)
+        for i in range(500):
+            ftl.write(rng.randrange(LOGICAL), i)
+        ftl.checkpoint()
+        for i in range(100):
+            ftl.write(rng.randrange(LOGICAL), (i, "post"))
+        live = ftl.umt.snapshot()
+        ftl.flash.power_off()
+        recovered, _ = recover(ftl.flash, LOGICAL, CONFIG)
+        assert recovered.umt.snapshot() == live
+
+    def test_recovery_scan_is_bounded_with_checkpoint(self):
+        """With a checkpoint, recovery fully scans only UBA/CBA/MBA/free."""
+        ftl = make_lazy()
+        rng = random.Random(5)
+        for i in range(1500):
+            ftl.write(rng.randrange(LOGICAL), i)
+        ftl.checkpoint()
+        for i in range(50):
+            ftl.write(rng.randrange(LOGICAL), (i, "post"))
+        ftl.flash.power_off()
+        _, with_ckpt = recover(ftl.flash, LOGICAL, CONFIG)
+        assert with_ckpt.blocks_fully_scanned < ftl.flash.geometry.num_blocks
+        assert with_ckpt.blocks_probed > 0
+
+
+class TestPowerLossEndToEnd:
+    @pytest.mark.parametrize("fail_after", [5, 37, 120, 400, 999])
+    def test_all_acknowledged_writes_survive(self, fail_after):
+        ftl = make_lazy(checkpoint_interval=100)
+        rng = random.Random(fail_after)
+        expected = {}
+        for i in range(200):  # pre-populate
+            lpn = rng.randrange(LOGICAL)
+            ftl.write(lpn, (lpn, i))
+            expected[lpn] = (lpn, i)
+        inflight = run_until_power_loss(ftl, rng, expected, fail_after)
+        recovered, report = recover(ftl.flash, LOGICAL, CONFIG)
+        assert_recovered(recovered, expected, inflight)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_crash_at_random_points_then_continue_writing(self, seed):
+        """Recovery must leave a fully functional FTL, not just a readable
+        one: keep writing (with GC churn) after the crash."""
+        ftl = make_lazy(checkpoint_interval=64)
+        rng = random.Random(seed)
+        expected = {}
+        for i in range(300):
+            lpn = rng.randrange(LOGICAL)
+            ftl.write(lpn, (lpn, i))
+            expected[lpn] = (lpn, i)
+        inflight = run_until_power_loss(ftl, rng, expected,
+                                        fail_after=rng.randrange(30, 300))
+        recovered, _ = recover(ftl.flash, LOGICAL, CONFIG)
+        assert_recovered(recovered, expected, inflight)
+        for i in range(1000):
+            lpn = rng.randrange(LOGICAL)
+            recovered.write(lpn, (lpn, "post", i))
+            expected[lpn] = (lpn, "post", i)
+        for lpn, value in expected.items():
+            assert recovered.read(lpn).data == value
+
+    def test_double_crash(self):
+        """Crash, recover, crash again mid-recovery workload, recover."""
+        ftl = make_lazy(checkpoint_interval=50)
+        rng = random.Random(11)
+        expected = {}
+        for i in range(250):
+            lpn = rng.randrange(LOGICAL)
+            ftl.write(lpn, (lpn, i))
+            expected[lpn] = (lpn, i)
+        inflight = run_until_power_loss(ftl, rng, expected, fail_after=60)
+        recovered, _ = recover(ftl.flash, LOGICAL, CONFIG)
+        assert_recovered(recovered, expected, inflight)
+        if inflight is not None:
+            expected[inflight[0]] = recovered.read(inflight[0]).data
+        recovered.checkpoint()
+        inflight = run_until_power_loss(recovered, rng, expected,
+                                        fail_after=45)
+        final, _ = recover(recovered.flash, LOGICAL, CONFIG)
+        assert_recovered(final, expected, inflight)
+
+    def test_crash_during_heavy_gc_phase(self):
+        ftl = make_lazy(checkpoint_interval=200)
+        rng = random.Random(13)
+        expected = {}
+        # Fill the device so every new write rides on GC.
+        for i in range(1200):
+            lpn = rng.randrange(LOGICAL)
+            ftl.write(lpn, (lpn, i))
+            expected[lpn] = (lpn, i)
+        inflight = run_until_power_loss(ftl, rng, expected, fail_after=77)
+        recovered, _ = recover(ftl.flash, LOGICAL, CONFIG)
+        assert_recovered(recovered, expected, inflight)
+
+    def test_recovery_cost_reported(self):
+        ftl = make_lazy()
+        for lpn in range(30):
+            ftl.write(lpn, lpn)
+        ftl.checkpoint()
+        ftl.flash.power_off()
+        _, report = recover(ftl.flash, LOGICAL, CONFIG)
+        assert report.pages_read > 0
+        assert report.latency_us > 0
+        assert report.umt_entries_rebuilt >= 0

@@ -1,0 +1,136 @@
+"""Unit tests for the erase-block model and NAND constraints."""
+
+import pytest
+
+from repro.flash import OOBData, PageState
+from repro.flash.block import Block
+from repro.flash.errors import EraseError, ProgramError, ReadError
+
+
+def make_block(pages=8):
+    return Block(index=0, pages_per_block=pages)
+
+
+class TestProgramming:
+    def test_sequential_program_advances_write_ptr(self):
+        b = make_block()
+        for i in range(3):
+            b.program(i, data=f"d{i}", oob=None)
+        assert b.write_ptr == 3
+        assert b.valid_count == 3
+        assert b.free_count == 5
+
+    def test_erase_before_write_enforced(self):
+        b = make_block()
+        b.program(0, "x", None)
+        with pytest.raises(ProgramError):
+            b.program(0, "y", None)
+
+    def test_sequential_programming_enforced(self):
+        b = make_block()
+        with pytest.raises(ProgramError):
+            b.program(3, "x", None)
+
+    def test_out_of_order_allowed_when_not_enforced(self):
+        b = make_block()
+        b.program(3, "x", None, enforce_sequential=False)
+        assert b.write_ptr == 4
+        assert b.pages[3].is_valid
+
+    def test_is_full(self):
+        b = make_block(pages=2)
+        assert not b.is_full
+        b.program(0, "a", None)
+        b.program(1, "b", None)
+        assert b.is_full
+
+    def test_program_stores_data_and_oob(self):
+        b = make_block()
+        oob = OOBData(lpn=42, seq=7)
+        b.program(0, "payload", oob)
+        data, got_oob = b.read(0)
+        assert data == "payload"
+        assert got_oob.lpn == 42
+        assert got_oob.seq == 7
+
+
+class TestInvalidateAndCounters:
+    def test_invalidate_decrements_valid_count(self):
+        b = make_block()
+        b.program(0, "a", None)
+        b.program(1, "b", None)
+        b.invalidate(0)
+        assert b.valid_count == 1
+        assert b.invalid_count == 1
+        assert b.pages[0].state is PageState.INVALID
+
+    def test_invalidate_is_idempotent(self):
+        b = make_block()
+        b.program(0, "a", None)
+        b.invalidate(0)
+        b.invalidate(0)
+        assert b.valid_count == 0
+
+    def test_invalidate_free_page_rejected(self):
+        b = make_block()
+        with pytest.raises(ProgramError):
+            b.invalidate(5)
+
+    def test_valid_offsets(self):
+        b = make_block()
+        for i in range(4):
+            b.program(i, i, None)
+        b.invalidate(1)
+        b.invalidate(3)
+        assert list(b.valid_offsets()) == [0, 2]
+
+
+class TestErase:
+    def test_erase_resets_block_and_counts_wear(self):
+        b = make_block()
+        b.program(0, "a", None)
+        b.invalidate(0)
+        b.erase()
+        assert b.is_empty
+        assert b.erase_count == 1
+        assert all(p.is_free for p in b.pages)
+
+    def test_erase_with_valid_pages_refused(self):
+        b = make_block()
+        b.program(0, "a", None)
+        with pytest.raises(EraseError):
+            b.erase()
+
+    def test_force_erase_ignores_valid_pages(self):
+        b = make_block()
+        b.program(0, "a", None)
+        b.force_erase()
+        assert b.is_empty
+        assert b.erase_count == 1
+
+    def test_block_reusable_after_erase(self):
+        b = make_block(pages=2)
+        for cycle in range(3):
+            b.program(0, cycle, None)
+            b.program(1, cycle, None)
+            b.invalidate(0)
+            b.invalidate(1)
+            b.erase()
+        assert b.erase_count == 3
+        assert b.is_empty
+
+
+class TestReads:
+    def test_read_unprogrammed_page_rejected(self):
+        b = make_block()
+        with pytest.raises(ReadError):
+            b.read(0)
+
+    def test_read_invalid_page_allowed(self):
+        # Stale copies remain physically readable until erased - recovery
+        # scans rely on this.
+        b = make_block()
+        b.program(0, "old", None)
+        b.invalidate(0)
+        data, _ = b.read(0)
+        assert data == "old"

@@ -1,0 +1,115 @@
+"""Unit tests for the NandFlash device: ops, latency charging, stats."""
+
+import pytest
+
+from repro.flash import (
+    FlashGeometry,
+    NandFlash,
+    OOBData,
+    PageState,
+    ProgramError,
+    UNIT_TIMING,
+    SLC_TIMING,
+)
+
+
+def make_chip(blocks=4, pages=8, timing=SLC_TIMING):
+    return NandFlash(FlashGeometry(num_blocks=blocks, pages_per_block=pages),
+                     timing=timing)
+
+
+class TestBasicOps:
+    def test_program_then_read_roundtrip(self):
+        chip = make_chip()
+        oob = OOBData(lpn=5, seq=0)
+        chip.program_page(0, "hello", oob)
+        data, got, _ = chip.read_page(0)
+        assert data == "hello"
+        assert got.lpn == 5
+
+    def test_latencies_match_timing_model(self):
+        chip = make_chip()
+        lat_w = chip.program_page(0, "x")
+        data, oob, lat_r = chip.read_page(0)
+        lat_e = None
+        chip.invalidate_page(0)
+        lat_e = chip.erase_block(0)
+        assert lat_w == SLC_TIMING.page_program_us
+        assert lat_r == SLC_TIMING.page_read_us
+        assert lat_e == SLC_TIMING.block_erase_us
+
+    def test_stats_accumulate(self):
+        chip = make_chip(timing=UNIT_TIMING)
+        chip.program_page(0, "a")
+        chip.program_page(1, "b")
+        chip.read_page(0)
+        chip.invalidate_page(0)
+        chip.invalidate_page(1)
+        chip.erase_block(0)
+        s = chip.stats
+        assert s.page_programs == 2
+        assert s.page_reads == 1
+        assert s.block_erases == 1
+        assert s.total_ops == 4
+        assert s.total_us == 4.0
+
+    def test_sequential_programming_across_blocks(self):
+        chip = make_chip(blocks=2, pages=2)
+        chip.program_page(0, "a")
+        chip.program_page(1, "b")
+        # block 1 starts its own write pointer
+        chip.program_page(2, "c")
+        assert chip.block(0).is_full
+        assert chip.block(1).write_ptr == 1
+
+    def test_non_sequential_program_rejected(self):
+        chip = make_chip()
+        with pytest.raises(ProgramError):
+            chip.program_page(3, "x")
+
+    def test_invalidate_costs_no_time(self):
+        chip = make_chip()
+        chip.program_page(0, "a")
+        before = chip.stats.total_us
+        chip.invalidate_page(0)
+        assert chip.stats.total_us == before
+        assert chip.page_state(0) is PageState.INVALID
+
+    def test_read_oob_charges_a_read(self):
+        chip = make_chip(timing=UNIT_TIMING)
+        chip.program_page(0, "a", OOBData(lpn=9, seq=1))
+        oob, lat = chip.read_oob(0)
+        assert oob.lpn == 9
+        assert lat == 1.0
+        assert chip.stats.page_reads == 1
+
+
+class TestEraseCounts:
+    def test_erase_counts_per_block(self):
+        chip = make_chip(blocks=3, pages=1)
+        chip.program_page(0, "a")
+        chip.invalidate_page(0)
+        chip.erase_block(0)
+        chip.erase_block(1)
+        assert chip.erase_counts() == [1, 1, 0]
+
+
+class TestStatsSnapshots:
+    def test_snapshot_diff(self):
+        chip = make_chip(timing=UNIT_TIMING)
+        chip.program_page(0, "a")
+        snap = chip.stats.snapshot()
+        chip.program_page(1, "b")
+        chip.read_page(0)
+        d = chip.stats.diff(snap)
+        assert d.page_programs == 1
+        assert d.page_reads == 1
+        assert d.block_erases == 0
+
+    def test_as_dict_keys(self):
+        chip = make_chip()
+        d = chip.stats.as_dict()
+        assert set(d) == {
+            "page_reads", "page_programs", "block_erases",
+            "read_us", "program_us", "erase_us",
+        }

@@ -1,0 +1,103 @@
+"""Unit tests for power-loss fault injection and device power state."""
+
+import pytest
+
+from repro.flash import (
+    DeviceOffError,
+    FlashGeometry,
+    NandFlash,
+    PowerLossError,
+)
+from repro.flash.fault import PowerFault
+
+
+def make_chip():
+    return NandFlash(FlashGeometry(num_blocks=4, pages_per_block=4))
+
+
+class TestPowerFaultController:
+    def test_unarmed_never_trips(self):
+        f = PowerFault()
+        for _ in range(100):
+            assert not f.on_program()
+        assert not f.tripped
+
+    def test_arm_after_zero_trips_immediately(self):
+        f = PowerFault()
+        f.arm_after_programs(0)
+        assert f.on_program()
+        assert f.tripped
+
+    def test_arm_after_n_allows_n_programs(self):
+        f = PowerFault()
+        f.arm_after_programs(3)
+        results = [f.on_program() for _ in range(4)]
+        assert results == [False, False, False, True]
+
+    def test_erases_ignored_unless_counted(self):
+        f = PowerFault()
+        f.arm_after_programs(0)
+        assert not f.on_erase()
+        assert f.on_program()
+
+    def test_arm_after_ops_counts_erases(self):
+        f = PowerFault()
+        f.arm_after_ops(1)
+        assert not f.on_erase()
+        assert f.on_program()
+
+    def test_disarm(self):
+        f = PowerFault()
+        f.arm_after_programs(0)
+        f.disarm()
+        assert not f.on_program()
+
+    def test_negative_rejected(self):
+        f = PowerFault()
+        with pytest.raises(ValueError):
+            f.arm_after_programs(-1)
+
+
+class TestChipPowerLoss:
+    def test_program_raises_and_page_unwritten(self):
+        chip = make_chip()
+        chip.fault.arm_after_programs(1)
+        chip.program_page(0, "first")
+        with pytest.raises(PowerLossError):
+            chip.program_page(1, "second")
+        assert not chip.powered
+        # The tripped program took no effect.
+        assert chip.block(0).write_ptr == 1
+
+    def test_no_ops_while_off(self):
+        chip = make_chip()
+        chip.power_off()
+        with pytest.raises(DeviceOffError):
+            chip.read_page(0)
+        with pytest.raises(DeviceOffError):
+            chip.program_page(0, "x")
+        with pytest.raises(DeviceOffError):
+            chip.erase_block(0)
+
+    def test_contents_survive_power_cycle(self):
+        chip = make_chip()
+        chip.program_page(0, "durable")
+        chip.power_off()
+        chip.power_on()
+        data, _, _ = chip.read_page(0)
+        assert data == "durable"
+
+    def test_power_on_disarms_fault(self):
+        chip = make_chip()
+        chip.fault.arm_after_programs(0)
+        with pytest.raises(PowerLossError):
+            chip.program_page(0, "x")
+        chip.power_on()
+        chip.program_page(0, "x")  # must not raise again
+
+    def test_erase_fault(self):
+        chip = make_chip()
+        chip.fault.arm_after_ops(0)
+        with pytest.raises(PowerLossError):
+            chip.erase_block(0)
+        assert chip.block(0).erase_count == 0

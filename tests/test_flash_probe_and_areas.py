@@ -1,0 +1,72 @@
+"""Direct tests for chip.probe_page and BlockArea.remove (used by recovery
+and the cheapest-convert policy)."""
+
+import pytest
+
+from repro.core.areas import BlockArea
+from repro.flash import FlashGeometry, NandFlash, OOBData, UNIT_TIMING
+
+
+class TestProbePage:
+    def make(self):
+        return NandFlash(FlashGeometry(num_blocks=4, pages_per_block=4),
+                         timing=UNIT_TIMING)
+
+    def test_probe_free_page_returns_none(self):
+        chip = self.make()
+        oob, latency = chip.probe_page(0)
+        assert oob is None
+        assert latency == 1.0
+        assert chip.stats.page_reads == 1
+
+    def test_probe_programmed_page_returns_oob(self):
+        chip = self.make()
+        chip.program_page(0, "x", OOBData(lpn=7, seq=3))
+        oob, _ = chip.probe_page(0)
+        assert oob.lpn == 7
+        assert oob.seq == 3
+
+    def test_probe_invalid_page_still_readable(self):
+        chip = self.make()
+        chip.program_page(0, "x", OOBData(lpn=7, seq=3))
+        chip.invalidate_page(0)
+        oob, _ = chip.probe_page(0)
+        assert oob is not None
+
+    def test_probe_respects_power_state(self):
+        from repro.flash import DeviceOffError
+        chip = self.make()
+        chip.power_off()
+        with pytest.raises(DeviceOffError):
+            chip.probe_page(0)
+
+
+class TestBlockAreaRemove:
+    def test_remove_middle_block(self):
+        area = BlockArea("UBA", capacity=4)
+        for b in (1, 2, 3):
+            area.push(b)
+        area.remove(2)
+        assert area.snapshot() == [1, 3]
+        assert area.oldest == 1
+        assert area.frontier == 3
+
+    def test_remove_frontier(self):
+        area = BlockArea("UBA", capacity=4)
+        area.push(1)
+        area.push(2)
+        area.remove(2)
+        assert area.frontier == 1
+
+    def test_remove_missing_raises(self):
+        area = BlockArea("UBA", capacity=4)
+        area.push(1)
+        with pytest.raises(ValueError):
+            area.remove(9)
+
+    def test_removed_block_can_be_repushed(self):
+        area = BlockArea("UBA", capacity=4)
+        area.push(1)
+        area.remove(1)
+        area.push(1)
+        assert area.frontier == 1

@@ -1,0 +1,131 @@
+"""Tests for the FAST log-block FTL."""
+
+import random
+
+import pytest
+
+from repro.flash import FlashGeometry, NandFlash, UNIT_TIMING
+from repro.ftl.fast import FastFTL
+
+from .ftl_conformance import FTLConformance
+
+
+class TestFastConformance(FTLConformance):
+    def make_ftl(self, flash):
+        return FastFTL(flash, logical_pages=self.LOGICAL_PAGES,
+                       num_rw_log_blocks=6)
+
+
+def make_fast(blocks=32, pages=8, logical=64, rw_logs=3):
+    flash = NandFlash(
+        FlashGeometry(num_blocks=blocks, pages_per_block=pages),
+        timing=UNIT_TIMING,
+        enforce_sequential=False,
+    )
+    return FastFTL(flash, logical_pages=logical, num_rw_log_blocks=rw_logs)
+
+
+class TestFastSWPath:
+    def test_sequential_rewrite_uses_switch_merge(self):
+        ftl = make_fast()
+        for sweep in range(3):
+            for lpn in range(8):
+                ftl.write(lpn, (sweep, lpn))
+        assert ftl.stats.merges_switch >= 1
+        assert ftl.stats.merges_full == 0
+        for lpn in range(8):
+            assert ftl.read(lpn).data == (2, lpn)
+
+    def test_offset_zero_write_restarts_sw(self):
+        ftl = make_fast()
+        for lpn in range(16):
+            ftl.write(lpn, lpn)
+        ftl.write(0, "restart-a")     # SW for lbn 0
+        ftl.write(1, "a1")
+        ftl.write(8, "restart-b")     # offset 0 of lbn 1 -> merges SW (partial)
+        assert ftl.stats.merges_partial >= 1
+        assert ftl.read(0).data == "restart-a"
+        assert ftl.read(1).data == "a1"
+        assert ftl.read(2).data == 2  # untouched tail came from partial merge
+
+    def test_interrupted_sequential_stream_merges_partially(self):
+        ftl = make_fast()
+        for lpn in range(8):
+            ftl.write(lpn, ("base", lpn))
+        ftl.write(0, "v0")
+        ftl.write(1, "v1")
+        ftl.write(2, "v2")
+        ftl.write(0, "v0-again")  # offset 0 again: previous SW merged
+        assert ftl.stats.merges_partial == 1
+        assert ftl.read(0).data == "v0-again"
+        assert ftl.read(1).data == "v1"
+        assert ftl.read(7).data == ("base", 7)
+
+
+class TestFastRWPath:
+    def test_random_updates_go_to_shared_rw_log(self):
+        ftl = make_fast()
+        for lpn in range(16):
+            ftl.write(lpn, lpn)
+        # Random (non-zero-offset) updates to different logical blocks share
+        # log space without merging until the pool fills.
+        ftl.write(3, "a")
+        ftl.write(11, "b")
+        ftl.write(5, "c")
+        assert ftl.stats.merges_total == 0
+        assert ftl.read(3).data == "a"
+        assert ftl.read(11).data == "b"
+
+    def test_rw_exhaustion_triggers_full_merges(self):
+        ftl = make_fast(rw_logs=1)
+        for lpn in range(16):
+            ftl.write(lpn, lpn)
+        # Fill the single RW log block with updates from two logical blocks,
+        # then one more update forces the merge of the victim log block.
+        updates = [3, 11, 5, 13, 6, 14, 3, 11, 5]
+        for i, lpn in enumerate(updates):
+            ftl.write(lpn, f"u{i}")
+        assert ftl.stats.merges_full >= 2  # both lbns had valid pages there
+        assert ftl.read(3).data == "u6"
+        assert ftl.read(5).data == "u8"
+        assert ftl.read(14).data == "u5"
+
+    def test_full_merge_collects_latest_across_sources(self):
+        ftl = make_fast(rw_logs=1)
+        for lpn in range(8):
+            ftl.write(lpn, ("base", lpn))
+        for i in range(8):  # fill RW with out-of-order updates to lbn 0
+            ftl.write(7 - (i % 4), ("rw", i))
+        ftl.write(5, ("rw", "last"))  # overflow -> full merge of lbn 0
+        assert ftl.stats.merges_full >= 1
+        assert ftl.read(5).data == ("rw", "last")
+        assert ftl.read(0).data == ("base", 0)
+
+    def test_random_workload_is_full_merge_dominated(self):
+        ftl = make_fast(blocks=40, logical=128, rw_logs=4)
+        rng = random.Random(0)
+        for i in range(3000):
+            ftl.write(rng.randrange(128), i)
+        assert ftl.stats.merges_full > 10
+        assert ftl.stats.merges_full > ftl.stats.merges_switch
+
+
+class TestFastValidation:
+    def test_too_small_device(self):
+        flash = NandFlash(FlashGeometry(num_blocks=8, pages_per_block=8))
+        with pytest.raises(ValueError):
+            FastFTL(flash, logical_pages=64)
+
+    def test_zero_rw_logs(self):
+        flash = NandFlash(FlashGeometry(num_blocks=32, pages_per_block=8))
+        with pytest.raises(ValueError):
+            FastFTL(flash, logical_pages=64, num_rw_log_blocks=0)
+
+    def test_ram_bytes(self):
+        ftl = make_fast()
+        assert ftl.ram_bytes() > 0
+        for lpn in range(16):
+            ftl.write(lpn, lpn)
+        base = ftl.ram_bytes()
+        ftl.write(3, "x")  # rw_map entry
+        assert ftl.ram_bytes() == base + 8

@@ -1,0 +1,127 @@
+"""Tests for the LAST locality-aware log-block FTL."""
+
+import random
+
+import pytest
+
+from repro.flash import FlashGeometry, NandFlash, UNIT_TIMING
+from repro.ftl.last import LastFTL
+
+from .ftl_conformance import FTLConformance
+
+
+class TestLastConformance(FTLConformance):
+    def make_ftl(self, flash):
+        return LastFTL(flash, logical_pages=self.LOGICAL_PAGES,
+                       num_seq_log_blocks=3, num_hot_blocks=3,
+                       num_cold_blocks=3, hot_window=64)
+
+
+def make_last(blocks=40, pages=8, logical=64, **kw):
+    flash = NandFlash(
+        FlashGeometry(num_blocks=blocks, pages_per_block=pages),
+        timing=UNIT_TIMING,
+        enforce_sequential=False,
+    )
+    defaults = {"num_seq_log_blocks": 2, "num_hot_blocks": 2,
+                "num_cold_blocks": 2, "hot_window": 16}
+    defaults.update(kw)
+    return LastFTL(flash, logical_pages=logical, **defaults)
+
+
+class TestSequentialPartition:
+    def test_sequential_rewrite_switch_merges(self):
+        ftl = make_last()
+        for sweep in range(3):
+            for lpn in range(8):
+                ftl.write(lpn, (sweep, lpn))
+        assert ftl.stats.merges_switch >= 1
+        assert ftl.stats.merges_full == 0
+        for lpn in range(8):
+            assert ftl.read(lpn).data == (2, lpn)
+
+    def test_seq_log_appended_in_order(self):
+        ftl = make_last()
+        for lpn in range(16):
+            ftl.write(lpn, lpn)
+        ftl.write(0, "a")
+        ftl.write(1, "b")
+        ftl.write(2, "c")
+        assert ftl.stats.merges_total == 0  # stream still open
+        assert ftl.read(1).data == "b"
+
+
+class TestHotColdSplit:
+    def test_hot_pages_produce_dead_blocks(self):
+        """Hammering a few pages must reclaim dead log blocks for free."""
+        ftl = make_last(hot_window=8)
+        for lpn in range(16):
+            ftl.write(lpn, lpn)
+        hot = (3, 5, 11)  # non-zero offsets -> random partition
+        for i in range(200):
+            ftl.write(hot[i % 3], i)
+        assert ftl.dead_block_erases > 0
+        # Dead-block reclamation avoids full merges for the hot traffic.
+        assert ftl.stats.merges_full <= 2
+
+    def test_cold_random_updates_fall_back_to_merges(self):
+        ftl = make_last(blocks=64, logical=128, hot_window=4)
+        rng = random.Random(0)
+        for lpn in range(128):
+            ftl.write(lpn, lpn)
+        for i in range(1500):
+            ftl.write(rng.randrange(128), i)
+        assert ftl.stats.merges_full > 0
+
+    def test_locality_converts_merges_into_dead_erases(self):
+        """LAST's raison d'etre: under concentrated traffic a large share
+        of random-log reclamations are free dead-block erases; under
+        uniform traffic (no locality to exploit) almost none are."""
+
+        def run(hot_spot):
+            flash = NandFlash(
+                FlashGeometry(num_blocks=64, pages_per_block=8),
+                timing=UNIT_TIMING, enforce_sequential=False,
+            )
+            ftl = LastFTL(flash, logical_pages=128, num_seq_log_blocks=2,
+                          num_hot_blocks=2, num_cold_blocks=2,
+                          hot_window=16)
+            rng = random.Random(1)
+            for lpn in range(128):
+                ftl.write(lpn, lpn)
+            hot = (1, 2, 3, 5, 9, 11, 13, 21)
+            for i in range(4000):
+                if hot_spot and rng.random() < 0.9:
+                    lpn = hot[rng.randrange(8)]
+                else:
+                    lpn = rng.randrange(128)
+                ftl.write(lpn, i)
+            return ftl
+
+        skewed = run(hot_spot=True)
+        uniform = run(hot_spot=False)
+        assert skewed.dead_block_erases > 20
+        assert skewed.dead_block_erases > uniform.dead_block_erases * 2
+        # Free reclamation translates into fewer full merges per write.
+        assert skewed.stats.merges_full < uniform.stats.merges_full
+
+
+class TestValidation:
+    def test_too_small_device(self):
+        flash = NandFlash(FlashGeometry(num_blocks=10, pages_per_block=8))
+        with pytest.raises(ValueError):
+            LastFTL(flash, logical_pages=64)
+
+    @pytest.mark.parametrize("kw", [
+        {"num_seq_log_blocks": 0},
+        {"num_hot_blocks": 0},
+        {"num_cold_blocks": 0},
+        {"hot_window": 0},
+    ])
+    def test_bad_params(self, kw):
+        flash = NandFlash(FlashGeometry(num_blocks=64, pages_per_block=8))
+        with pytest.raises(ValueError):
+            LastFTL(flash, logical_pages=64, **kw)
+
+    def test_ram_bytes_positive(self):
+        assert make_last().ram_bytes() > 0

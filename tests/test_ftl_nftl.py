@@ -1,0 +1,97 @@
+"""Tests for the NFTL replacement-block baseline."""
+
+import random
+
+import pytest
+
+from repro.flash import FlashGeometry, NandFlash, UNIT_TIMING
+from repro.ftl.nftl import NftlFTL
+
+from .ftl_conformance import FTLConformance
+
+
+class TestNftlConformance(FTLConformance):
+    def make_ftl(self, flash):
+        # 30 primaries on a 48-block device: replacement chains grow on
+        # demand and fold under space pressure.
+        return NftlFTL(flash, logical_pages=self.LOGICAL_PAGES, max_chain=2)
+
+
+def make_nftl(blocks=32, pages=8, logical=64, max_chain=2):
+    flash = NandFlash(
+        FlashGeometry(num_blocks=blocks, pages_per_block=pages),
+        timing=UNIT_TIMING,
+        enforce_sequential=False,
+    )
+    return NftlFTL(flash, logical_pages=logical, max_chain=max_chain)
+
+
+class TestChains:
+    def test_first_write_in_place(self):
+        ftl = make_nftl()
+        ftl.write(3, "x")
+        assert ftl.flash.stats.page_programs == 1
+        assert ftl.read(3).data == "x"
+
+    def test_update_goes_to_replacement_block(self):
+        ftl = make_nftl()
+        ftl.write(3, "v0")
+        ftl.write(3, "v1")
+        chain = ftl._chains[0]
+        assert len(chain.blocks) == 2
+        assert ftl.read(3).data == "v1"
+
+    def test_chain_limit_triggers_fold(self):
+        ftl = make_nftl(max_chain=2)
+        for v in range(5):  # primary + 2 replacements, then fold
+            ftl.write(3, f"v{v}")
+        assert ftl.stats.merges_full >= 1
+        assert ftl.read(3).data == "v4"
+
+    def test_fold_preserves_all_offsets(self):
+        ftl = make_nftl(max_chain=1)
+        for lpn in range(8):
+            ftl.write(lpn, ("base", lpn))
+        for v in range(4):  # hammer one offset to force folds
+            ftl.write(2, ("hot", v))
+        assert ftl.stats.merges_full >= 1
+        assert ftl.read(2).data == ("hot", 3)
+        for lpn in (0, 1, 3, 7):
+            assert ftl.read(lpn).data == ("base", lpn)
+
+    def test_hot_offset_folds_constantly(self):
+        """The NFTL pathology: one hot page folds its whole chain."""
+        ftl = make_nftl(max_chain=2)
+        for v in range(60):
+            ftl.write(5, v)
+        # Each fold admits only max_chain+1 more writes to the hot offset.
+        assert ftl.stats.merges_full >= 60 // 4 - 1
+
+    def test_distinct_offsets_share_chain_blocks(self):
+        ftl = make_nftl()
+        for lpn in range(8):
+            ftl.write(lpn, ("a", lpn))
+        for lpn in range(8):
+            ftl.write(lpn, ("b", lpn))
+        chain = ftl._chains[0]
+        assert len(chain.blocks) == 2  # one replacement serves all offsets
+        for lpn in range(8):
+            assert ftl.read(lpn).data == ("b", lpn)
+
+
+class TestValidation:
+    def test_too_small_device(self):
+        flash = NandFlash(FlashGeometry(num_blocks=8, pages_per_block=8))
+        with pytest.raises(ValueError):
+            NftlFTL(flash, logical_pages=64)
+
+    def test_bad_chain(self):
+        flash = NandFlash(FlashGeometry(num_blocks=32, pages_per_block=8))
+        with pytest.raises(ValueError):
+            NftlFTL(flash, logical_pages=64, max_chain=0)
+
+    def test_ram_accounting(self):
+        ftl = make_nftl()
+        base = ftl.ram_bytes()
+        ftl.write(0, "x")
+        assert ftl.ram_bytes() > base

@@ -1,0 +1,99 @@
+"""Tests for the superblock FTL baseline."""
+
+import random
+
+import pytest
+
+from repro.flash import FlashGeometry, NandFlash, UNIT_TIMING
+from repro.ftl.superblock import SuperblockFTL
+
+from .ftl_conformance import FTLConformance
+
+
+class TestSuperblockConformance(FTLConformance):
+    def make_ftl(self, flash):
+        return SuperblockFTL(flash, logical_pages=self.LOGICAL_PAGES,
+                             blocks_per_superblock=4,
+                             spare_per_superblock=1)
+
+
+def make_sb(blocks=32, pages=8, logical=64, n=4, spare=1):
+    flash = NandFlash(
+        FlashGeometry(num_blocks=blocks, pages_per_block=pages),
+        timing=UNIT_TIMING,
+    )
+    return SuperblockFTL(flash, logical_pages=logical,
+                         blocks_per_superblock=n, spare_per_superblock=spare)
+
+
+class TestGroupBehaviour:
+    def test_groups_allocated_lazily(self):
+        ftl = make_sb()
+        assert ftl.ram_bytes() == ftl.num_groups * 4  # directory only
+        ftl.write(0, "x")
+        assert len(ftl._groups) == 1
+        ftl.write(40, "y")  # group 1 (group_pages = 32)
+        assert len(ftl._groups) == 2
+
+    def test_updates_append_within_group(self):
+        """Random updates inside one group never merge - they log-append."""
+        ftl = make_sb()
+        rng = random.Random(0)
+        for i in range(300):
+            ftl.write(rng.randrange(32), i)  # all group 0
+        assert ftl.stats.merges_total == 0
+        assert ftl.stats.gc_runs > 0  # in-group cleaning happened
+
+    def test_group_stays_within_block_budget(self):
+        ftl = make_sb(n=4, spare=1)
+        rng = random.Random(1)
+        for i in range(500):
+            ftl.write(rng.randrange(32), i)
+        group = ftl._groups[0]
+        assert len(group.blocks) <= ftl.group_max_blocks
+
+    def test_cleaning_confined_to_group(self):
+        """Traffic to group 0 must never erase group 1's blocks."""
+        ftl = make_sb()
+        for lpn in range(32, 64):
+            ftl.write(lpn, lpn)  # populate group 1
+        group1_blocks = set(ftl._groups[1].blocks)
+        rng = random.Random(2)
+        for i in range(600):
+            ftl.write(rng.randrange(32), i)  # hammer group 0
+        assert set(ftl._groups[1].blocks) == group1_blocks
+        for lpn in range(32, 64):
+            assert ftl.read(lpn).data == lpn
+
+    def test_more_spare_means_fewer_copies(self):
+        def copies(spare):
+            ftl = make_sb(blocks=48, spare=spare)
+            rng = random.Random(3)
+            for i in range(800):
+                ftl.write(rng.randrange(32), i)
+            return ftl.stats.gc_page_copies
+
+        assert copies(spare=3) < copies(spare=1)
+
+
+class TestValidation:
+    def test_too_small_device(self):
+        flash = NandFlash(FlashGeometry(num_blocks=8, pages_per_block=8))
+        with pytest.raises(ValueError):
+            SuperblockFTL(flash, logical_pages=64)
+
+    @pytest.mark.parametrize("kw", [
+        {"blocks_per_superblock": 0},
+        {"spare_per_superblock": 0},
+    ])
+    def test_bad_params(self, kw):
+        flash = NandFlash(FlashGeometry(num_blocks=64, pages_per_block=8))
+        with pytest.raises(ValueError):
+            SuperblockFTL(flash, logical_pages=64, **kw)
+
+    def test_ram_grows_with_groups(self):
+        ftl = make_sb()
+        ftl.write(0, "a")
+        one = ftl.ram_bytes()
+        ftl.write(40, "b")
+        assert ftl.ram_bytes() > one

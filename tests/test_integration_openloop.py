@@ -1,0 +1,61 @@
+"""Open-loop replay: merge stalls must propagate as queueing delay.
+
+The paper reports *response* times, which on a timestamped trace include
+waiting behind the device while it grinds through a merge.  These tests
+check the simulator's queueing model end-to-end: a scheme with rare huge
+stalls (FAST) hurts later requests, not only the one that triggered the
+merge.
+"""
+
+from repro.flash import FlashGeometry, NandFlash, UNIT_TIMING
+from repro.ftl import FastFTL, PageFTL
+from repro.sim import Simulator
+from repro.traces import IORequest, OpType, Trace, uniform_random
+
+
+def open_loop_trace(n, footprint, interarrival_us, seed=0):
+    closed = uniform_random(n, footprint, seed=seed)
+    requests = [
+        IORequest(r.op, r.lpn, r.npages, arrival_us=i * interarrival_us)
+        for i, r in enumerate(closed)
+    ]
+    return Trace(requests, name=f"open-{interarrival_us}")
+
+
+class TestQueueingPropagation:
+    def test_tight_arrivals_inflate_response_beyond_service(self):
+        flash = NandFlash(FlashGeometry(num_blocks=64, pages_per_block=16),
+                          timing=UNIT_TIMING)
+        ftl = PageFTL(flash, logical_pages=512)
+        sim = Simulator(ftl)
+        # Arrivals every 0.5 us; service is 1 us: the queue grows without
+        # bound and mean response far exceeds mean service.
+        result = sim.run(open_loop_trace(2000, 512, interarrival_us=0.5))
+        assert result.responses.overall.mean > 10.0
+
+    def test_slack_arrivals_match_closed_loop(self):
+        flash = NandFlash(FlashGeometry(num_blocks=64, pages_per_block=16),
+                          timing=UNIT_TIMING)
+        ftl = PageFTL(flash, logical_pages=512)
+        sim = Simulator(ftl)
+        # With generous spacing, queueing never happens before GC starts.
+        result = sim.run(open_loop_trace(400, 512, interarrival_us=1000.0))
+        assert result.responses.overall.mean == result.responses.overall.max \
+            or result.responses.overall.mean < 100.0
+
+    def test_fast_merge_stall_delays_followers(self):
+        flash = NandFlash(
+            FlashGeometry(num_blocks=48, pages_per_block=16),
+            timing=UNIT_TIMING, enforce_sequential=False,
+        )
+        ftl = FastFTL(flash, logical_pages=384, num_rw_log_blocks=2)
+        sim = Simulator(ftl)
+        # Interarrival of 100 us lets the queue drain between merges, so
+        # the median stays near the 1 us base service while the tail shows
+        # whole merge stalls (hundreds of raw ops each).
+        trace = open_loop_trace(3000, 384, interarrival_us=100.0, seed=3)
+        result = sim.run(trace)
+        p50 = result.responses.overall.percentile(50)
+        p999 = result.responses.overall.percentile(99.9)
+        assert p999 > p50 * 5, "merge stalls should dominate the tail"
+        assert p50 < 50.0, "median must stay near base service time"

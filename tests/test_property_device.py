@@ -1,0 +1,102 @@
+"""Property-based tests for the LAST baseline and the block-device layer."""
+
+import random
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import LazyConfig, LazyFTL
+from repro.device import FlashBlockDevice
+from repro.flash import FlashGeometry, NandFlash, UNIT_TIMING
+from repro.ftl.last import LastFTL
+
+LOGICAL = 48
+SLOW = settings(deadline=None, max_examples=25,
+                suppress_health_check=[HealthCheck.too_slow])
+
+ops_strategy = st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=0, max_value=LOGICAL - 1)),
+    min_size=1,
+    max_size=300,
+)
+
+
+def check_read_your_writes(ftl, ops):
+    shadow = {}
+    for i, (is_write, lpn) in enumerate(ops):
+        if is_write:
+            ftl.write(lpn, (lpn, i))
+            shadow[lpn] = (lpn, i)
+        else:
+            assert ftl.read(lpn).data == shadow.get(lpn)
+    for lpn, value in shadow.items():
+        assert ftl.read(lpn).data == value
+
+
+class TestExtraBaselinesReadYourWrites:
+    @SLOW
+    @given(ops=ops_strategy)
+    def test_last(self, ops):
+        flash = NandFlash(
+            FlashGeometry(num_blocks=28, pages_per_block=4, page_size=64),
+            timing=UNIT_TIMING, enforce_sequential=False,
+        )
+        ftl = LastFTL(flash, LOGICAL, num_seq_log_blocks=2,
+                      num_hot_blocks=2, num_cold_blocks=2, hot_window=8)
+        check_read_your_writes(ftl, ops)
+
+    @SLOW
+    @given(ops=ops_strategy)
+    def test_superblock(self, ops):
+        from repro.ftl.superblock import SuperblockFTL
+
+        flash = NandFlash(
+            FlashGeometry(num_blocks=28, pages_per_block=4, page_size=64),
+            timing=UNIT_TIMING,
+        )
+        ftl = SuperblockFTL(flash, LOGICAL, blocks_per_superblock=4,
+                            spare_per_superblock=1)
+        check_read_your_writes(ftl, ops)
+
+
+# Sector-level operations: (is_write, lba, n_sectors)
+sector_ops = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.integers(min_value=0, max_value=150),
+        st.integers(min_value=1, max_value=9),
+    ),
+    min_size=1,
+    max_size=150,
+)
+
+
+class TestBlockDeviceSectorSemantics:
+    @SLOW
+    @given(ops=sector_ops)
+    def test_sector_shadow_consistency(self, ops):
+        flash = NandFlash(
+            FlashGeometry(num_blocks=36, pages_per_block=4, page_size=256),
+            timing=UNIT_TIMING,
+        )
+        ftl = LazyFTL(flash, logical_pages=64,
+                      config=LazyConfig(uba_blocks=2, cba_blocks=2,
+                                        gc_free_threshold=3))
+        device = FlashBlockDevice(ftl, sector_size=64)  # 4 sectors/page
+        shadow = {}
+        token = 0
+        for is_write, lba, n in ops:
+            n = min(n, device.capacity_sectors - lba)
+            if n <= 0 or lba >= device.capacity_sectors:
+                continue
+            if is_write:
+                payload = [(lba + j, token) for j in range(n)]
+                token += 1
+                device.write(lba, payload)
+                for j in range(n):
+                    shadow[lba + j] = payload[j]
+            else:
+                got = device.read(lba, n).sectors
+                expect = [shadow.get(lba + j) for j in range(n)]
+                assert got == expect
+        for lba, value in shadow.items():
+            assert device.read(lba, 1).sectors == [value]

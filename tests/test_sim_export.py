@@ -1,0 +1,64 @@
+"""Tests for JSON/CSV result export."""
+
+import csv
+import io
+import json
+
+from repro.flash import FlashGeometry, NandFlash, UNIT_TIMING
+from repro.ftl import PageFTL
+from repro.sim import (
+    CSV_COLUMNS,
+    Simulator,
+    result_to_dict,
+    result_to_row,
+    results_to_csv,
+    results_to_json,
+)
+from repro.traces import uniform_random
+
+
+def run_one():
+    flash = NandFlash(FlashGeometry(num_blocks=32, pages_per_block=8),
+                      timing=UNIT_TIMING)
+    ftl = PageFTL(flash, logical_pages=128)
+    return Simulator(ftl).run(uniform_random(500, 128, seed=0))
+
+
+class TestJsonExport:
+    def test_roundtrips_through_json(self):
+        result = run_one()
+        stream = io.StringIO()
+        results_to_json({"ideal": result}, stream)
+        loaded = json.loads(stream.getvalue())
+        assert loaded["ideal"]["scheme"] == "ideal"
+        assert loaded["ideal"]["requests"] == 500
+        assert loaded["ideal"]["responses"]["overall"]["count"] == 500
+
+    def test_dict_keys(self):
+        d = result_to_dict(run_one())
+        assert set(d) == {
+            "scheme", "trace", "requests", "page_ops", "responses",
+            "flash", "ftl", "wear", "ram_bytes", "device_busy_us",
+        }
+
+
+class TestCsvExport:
+    def test_header_and_rows(self):
+        result = run_one()
+        stream = io.StringIO()
+        results_to_csv({"ideal": result}, stream)
+        rows = list(csv.reader(io.StringIO(stream.getvalue())))
+        assert rows[0] == CSV_COLUMNS
+        assert len(rows) == 2
+        assert rows[1][0] == "ideal"
+
+    def test_row_matches_columns(self):
+        row = result_to_row(run_one())
+        assert len(row) == len(CSV_COLUMNS)
+
+    def test_numeric_fields_parse(self):
+        result = run_one()
+        row = result_to_row(result)
+        by_name = dict(zip(CSV_COLUMNS, row))
+        assert float(by_name["mean_us"]) > 0
+        assert int(by_name["erases"]) >= 0

@@ -1,0 +1,87 @@
+"""Unit tests for latency distributions and response stats."""
+
+import pytest
+
+from repro.sim.metrics import LatencyDistribution, ResponseStats
+
+
+class TestLatencyDistribution:
+    def test_empty(self):
+        d = LatencyDistribution()
+        assert d.count == 0
+        assert d.mean == 0.0
+        assert d.max == 0.0
+        assert d.percentile(50) == 0.0
+
+    def test_mean_total(self):
+        d = LatencyDistribution()
+        for v in (1.0, 2.0, 3.0):
+            d.add(v)
+        assert d.total == 6.0
+        assert d.mean == 2.0
+        assert d.min == 1.0
+        assert d.max == 3.0
+
+    def test_percentiles_exact(self):
+        d = LatencyDistribution()
+        for v in range(1, 101):  # 1..100
+            d.add(float(v))
+        assert d.percentile(50) == 50.0
+        assert d.percentile(95) == 95.0
+        assert d.percentile(99) == 99.0
+        assert d.percentile(100) == 100.0
+
+    def test_percentile_unsorted_input(self):
+        d = LatencyDistribution()
+        for v in (5.0, 1.0, 9.0, 3.0):
+            d.add(v)
+        assert d.percentile(100) == 9.0
+        assert d.percentile(25) == 1.0
+
+    def test_percentile_bounds(self):
+        d = LatencyDistribution()
+        d.add(1.0)
+        with pytest.raises(ValueError):
+            d.percentile(0)
+        with pytest.raises(ValueError):
+            d.percentile(101)
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyDistribution().add(-1.0)
+
+    def test_cdf_points_monotone(self):
+        d = LatencyDistribution()
+        for v in (4.0, 2.0, 8.0, 1.0, 16.0):
+            d.add(v)
+        points = d.cdf_points(resolution=10)
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        assert xs == sorted(xs)
+        assert ys[-1] == 1.0
+
+    def test_summary_keys(self):
+        d = LatencyDistribution()
+        d.add(1.0)
+        assert set(d.summary()) == {
+            "count", "mean_us", "p50_us", "p95_us", "p99_us", "p999_us",
+            "max_us",
+        }
+
+
+class TestResponseStats:
+    def test_split_by_op(self):
+        s = ResponseStats()
+        s.record(is_write=True, response_us=10.0)
+        s.record(is_write=False, response_us=2.0)
+        s.record(is_write=True, response_us=20.0)
+        assert s.overall.count == 3
+        assert s.writes.count == 2
+        assert s.reads.count == 1
+        assert s.writes.mean == 15.0
+
+    def test_summary_structure(self):
+        s = ResponseStats()
+        s.record(True, 1.0)
+        summary = s.summary()
+        assert set(summary) == {"overall", "reads", "writes"}

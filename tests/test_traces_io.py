@@ -1,0 +1,89 @@
+"""Tests for trace serialisation (save/load)."""
+
+import io
+
+import pytest
+
+from repro.traces import (
+    IORequest,
+    OpType,
+    Trace,
+    TraceFormatError,
+    dump_trace,
+    load_trace,
+    parse_trace,
+    save_trace,
+    uniform_random,
+)
+
+
+def roundtrip(trace):
+    buffer = io.StringIO()
+    dump_trace(trace, buffer)
+    buffer.seek(0)
+    return parse_trace(buffer)
+
+
+class TestRoundtrip:
+    def test_closed_loop_roundtrip(self):
+        original = Trace([
+            IORequest(OpType.WRITE, 0, 2),
+            IORequest(OpType.READ, 5, 1),
+        ], name="demo")
+        loaded = roundtrip(original)
+        assert loaded.name == "demo"
+        assert [(r.op, r.lpn, r.npages, r.arrival_us) for r in loaded] == \
+               [(r.op, r.lpn, r.npages, r.arrival_us) for r in original]
+
+    def test_open_loop_arrivals_exact(self):
+        original = Trace([
+            IORequest(OpType.WRITE, 1, 1, arrival_us=0.125),
+            IORequest(OpType.READ, 2, 3, arrival_us=1234.5),
+        ])
+        loaded = roundtrip(original)
+        assert loaded[0].arrival_us == 0.125
+        assert loaded[1].arrival_us == 1234.5
+
+    def test_generated_trace_roundtrip(self):
+        original = uniform_random(500, 1024, write_ratio=0.6, seed=9)
+        loaded = roundtrip(original)
+        assert loaded.page_ops == original.page_ops
+        assert loaded.write_ratio == original.write_ratio
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "trace.txt")
+        original = uniform_random(50, 128, seed=1, name="file-demo")
+        save_trace(original, path)
+        loaded = load_trace(path)
+        assert loaded.name == "file-demo"
+        assert len(loaded) == 50
+
+    def test_explicit_name_overrides_header(self, tmp_path):
+        path = str(tmp_path / "trace.txt")
+        save_trace(Trace([IORequest(OpType.READ, 0, 1)], name="orig"), path)
+        loaded = load_trace(path, name="renamed")
+        assert loaded.name == "renamed"
+
+
+class TestParsing:
+    def test_blank_lines_and_comments_ignored(self):
+        text = "# repro-trace v1 name=x\n\n# note\nW 1 1\n"
+        trace = parse_trace(io.StringIO(text))
+        assert len(trace) == 1
+
+    @pytest.mark.parametrize("line", [
+        "W 1",           # too few fields
+        "W 1 1 2 3",     # too many
+        "X 1 1",         # unknown op
+        "W a 1",         # bad lpn
+        "W 1 0",         # invalid npages (IORequest validation)
+        "W -1 1",        # negative lpn
+    ])
+    def test_malformed_rejected(self, line):
+        with pytest.raises(TraceFormatError):
+            parse_trace(io.StringIO(line))
+
+    def test_lowercase_ops_accepted(self):
+        trace = parse_trace(io.StringIO("w 0 1\nr 1 1\n"))
+        assert trace[0].is_write
+        assert not trace[1].is_write
