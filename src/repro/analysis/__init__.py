@@ -1,5 +1,16 @@
-"""Result analysis: cross-scheme comparison, wear, and RAM models."""
+"""Result analysis: cross-scheme comparison, wear, RAM models, and
+per-cause time attribution from event traces."""
 
+from .attribution import (
+    ATTRIBUTION_HEADERS,
+    attribute_trace,
+    attribution_rows,
+    cause_shares,
+    event_counts,
+    format_attribution,
+    housekeeping_share,
+    read_trace,
+)
 from .breakdown import (
     BREAKDOWN_HEADERS,
     breakdown_rows,
@@ -16,6 +27,14 @@ from .ram import ram_model, scalability_table
 from .wear import erase_histogram, lifetime_projection, wear_profile
 
 __all__ = [
+    "ATTRIBUTION_HEADERS",
+    "attribute_trace",
+    "attribution_rows",
+    "cause_shares",
+    "event_counts",
+    "format_attribution",
+    "housekeeping_share",
+    "read_trace",
     "BREAKDOWN_HEADERS",
     "breakdown_rows",
     "overhead_ratio",

@@ -4,12 +4,16 @@ Usage::
 
     python -m repro compare --trace financial1 --requests 20000
     python -m repro compare --trace random --schemes DFTL LazyFTL ideal
+    python -m repro compare --trace random --trace-out events.jsonl --metrics
+    python -m repro inspect-trace events.jsonl
     python -m repro characterize --trace tpcc --requests 50000
     python -m repro replay-spc path/to/Financial1.spc --max-requests 20000
 
 The ``compare`` command reproduces the paper's headline comparison for one
 workload on the headline device (see DESIGN.md) and prints the same table
-the benchmarks record.
+the benchmarks record.  With ``--trace-out`` it additionally records every
+simulated event (see repro.obs) to a JSONL file that ``inspect-trace``
+decomposes into a per-cause "where did the time go" table.
 """
 
 from __future__ import annotations
@@ -18,7 +22,15 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .analysis import COMPARISON_HEADERS, comparison_rows, optimality_gap
+from .analysis import (
+    COMPARISON_HEADERS,
+    attribute_trace,
+    comparison_rows,
+    format_attribution,
+    optimality_gap,
+    read_trace,
+)
+from .obs import JsonlSink, Tracer
 from .sim import HEADLINE_DEVICE, SCHEMES, DeviceSpec, compare_schemes
 from .sim.report import format_table
 from .traces import (
@@ -85,12 +97,26 @@ def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
 def cmd_compare(args: argparse.Namespace) -> int:
     device = _device_from_args(args)
     trace = _trace_from_args(args, device)
-    results = compare_schemes(
-        trace,
-        schemes=tuple(args.schemes),
-        device=device,
-        precondition="steady" if args.steady else True,
-    )
+    tracer = None
+    if args.trace_out or args.metrics:
+        try:
+            sinks = [JsonlSink(args.trace_out)] if args.trace_out else []
+        except OSError as exc:
+            print(f"cannot open --trace-out {args.trace_out}: {exc}",
+                  file=sys.stderr)
+            return 2
+        tracer = Tracer(sinks=sinks)
+    try:
+        results = compare_schemes(
+            trace,
+            schemes=tuple(args.schemes),
+            device=device,
+            precondition="steady" if args.steady else True,
+            tracer=tracer,
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
     print(format_table(
         COMPARISON_HEADERS,
         comparison_rows(results),
@@ -102,6 +128,38 @@ def cmd_compare(args: argparse.Namespace) -> int:
         print("\nvs theoretically optimal:")
         for scheme in args.schemes:
             print(f"  {scheme:8s} {gap[scheme]:6.2f}x")
+    if tracer is not None:
+        print()
+        print(format_attribution(tracer.attribution, schemes=args.schemes))
+    if args.metrics:
+        print("\nmetrics:")
+        snapshot = tracer.metrics.as_dict()
+        for name, value in sorted(snapshot["counters"].items()):
+            print(f"  {name:28s} {value}")
+        for name, hist in sorted(snapshot["histograms"].items()):
+            print(f"  {name:28s} n={hist['count']} "
+                  f"mean={hist['mean']:.1f} max={hist['max']:.1f}")
+    if args.trace_out:
+        print(f"\ntrace written to {args.trace_out}", file=sys.stderr)
+    return 0
+
+
+def cmd_inspect_trace(args: argparse.Namespace) -> int:
+    try:
+        sink = attribute_trace(read_trace(args.path))
+    except OSError as exc:
+        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"{args.path}: {exc}", file=sys.stderr)
+        return 2
+    schemes = sink.schemes()
+    if not schemes:
+        print(f"{args.path}: no events", file=sys.stderr)
+        return 2
+    print(format_attribution(
+        sink, title=f"flash time by cause - {args.path}"
+    ))
     return 0
 
 
@@ -153,7 +211,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compare.add_argument("--steady", action="store_true",
                          help="precondition to steady-state GC")
+    compare.add_argument("--trace-out", metavar="FILE", default=None,
+                         help="record every simulated event to a JSONL "
+                              "trace (inspect with 'repro inspect-trace')")
+    compare.add_argument("--metrics", action="store_true",
+                         help="print the tracing counters/histograms "
+                              "after the comparison table")
     compare.set_defaults(func=cmd_compare)
+
+    inspect = sub.add_parser(
+        "inspect-trace",
+        help="per-cause time attribution from a recorded JSONL trace",
+    )
+    inspect.add_argument("path", help="JSONL trace from compare --trace-out")
+    inspect.set_defaults(func=cmd_inspect_trace)
 
     charac = sub.add_parser("characterize", help="workload statistics")
     _add_trace_arguments(charac)

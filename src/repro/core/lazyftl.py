@@ -26,6 +26,8 @@ from ..flash.chip import NandFlash
 from ..flash.errors import BadBlockError
 from ..flash.oob import OOBData, PageKind, SequenceCounter
 from ..ftl.base import UNMAPPED_READ_US, FlashTranslationLayer, HostResult
+from ..obs.events import Cause, EventType
+from ..obs.tracer import Tracer
 from ..ftl.gc_policy import select_greedy
 from ..ftl.pool import BlockPool, OutOfBlocksError
 from .areas import BlockArea, DataBlockSet
@@ -152,6 +154,15 @@ class LazyFTL(FlashTranslationLayer):
         """UMT + GTD (+ optional GMT cache): the paper's RAM story."""
         return self._umt.ram_bytes() + self._maps.ram_bytes()
 
+    def attach_tracer(self, tracer: Tracer) -> Tracer:
+        super().attach_tracer(tracer)
+        self._maps.tracer = tracer
+        return tracer
+
+    def detach_tracer(self) -> None:
+        super().detach_tracer()
+        self._maps.tracer = None
+
     # ------------------------------------------------------------------
     # Introspection used by benchmarks, analysis and recovery
     # ------------------------------------------------------------------
@@ -247,6 +258,9 @@ class LazyFTL(FlashTranslationLayer):
         block's valid pages.
         """
         self.stats.converts += 1
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.span_start(None, Cause.CONVERT)
         block = self.flash.block(pbn)
         geometry = self.flash.geometry
         pairs = []
@@ -276,6 +290,11 @@ class LazyFTL(FlashTranslationLayer):
         latency = self._maps.commit(groups, self._deferred_invalidate)
         for lpn in committed:
             self._umt.pop(lpn)
+        if tracer is not None:
+            tracer.span_end(
+                EventType.CONVERT, ppn=pbn,
+                entries=len(committed), gmt_pages=len(groups),
+            )
         return latency
 
     def _deferred_invalidate(self, lpn: int, old_ppn: int) -> None:
@@ -322,26 +341,34 @@ class LazyFTL(FlashTranslationLayer):
                 "(reduce logical_pages or enlarge the device)"
             )
         self.stats.gc_runs += 1
-        self._in_maintenance = True
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.span_start(EventType.GC_START, Cause.GC,
+                              ppn=victim.index)
         try:
-            if victim.index in self._maps.full_blocks:
-                latency = self._maps.collect(victim.index)
-            else:
-                latency = self._collect_data_block(victim.index)
-        finally:
-            self._in_maintenance = False
-        self._dba.discard(victim.index)
-        try:
-            latency += self.flash.erase_block(victim.index)
-        except BadBlockError:
-            # The block wore out on this erase.  Its live pages were
-            # already relocated above, so nothing is lost - retire it
-            # (never returned to the pool) and keep collecting.
-            self.stats.bad_blocks_retired += 1
+            self._in_maintenance = True
+            try:
+                if victim.index in self._maps.full_blocks:
+                    latency = self._maps.collect(victim.index)
+                else:
+                    latency = self._collect_data_block(victim.index)
+            finally:
+                self._in_maintenance = False
+            self._dba.discard(victim.index)
+            try:
+                latency += self.flash.erase_block(victim.index)
+            except BadBlockError:
+                # The block wore out on this erase.  Its live pages were
+                # already relocated above, so nothing is lost - retire it
+                # (never returned to the pool) and keep collecting.
+                self.stats.bad_blocks_retired += 1
+                return latency
+            self.stats.gc_erases += 1
+            self._pool.release(victim.index)
             return latency
-        self.stats.gc_erases += 1
-        self._pool.release(victim.index)
-        return latency
+        finally:
+            if tracer is not None:
+                tracer.span_end(EventType.GC_END, ppn=victim.index)
 
     def _collect_data_block(self, pbn: int) -> float:
         """Relocate a DBA victim's live pages into the cold area."""
@@ -454,7 +481,14 @@ class LazyFTL(FlashTranslationLayer):
         if self.config.checkpoint_umt:
             state["umt"] = self._umt.snapshot()
         self._writes_since_checkpoint = 0
-        return self._scribe.write(state)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.push_cause(Cause.RECOVERY)
+        try:
+            return self._scribe.write(state)
+        finally:
+            if tracer is not None:
+                tracer.pop_cause()
 
     def _periodic_checkpoint(self) -> float:
         if self.config.checkpoint_interval <= 0:

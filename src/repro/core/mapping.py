@@ -22,6 +22,7 @@ from ..flash.geometry import MAP_ENTRY_BYTES
 from ..flash.oob import OOBData, PageKind, SequenceCounter
 from ..ftl.pool import BlockPool
 from ..ftl.stats import FtlStats
+from ..obs.events import Cause, EventType
 from .gtd import GlobalTranslationDirectory
 
 
@@ -47,6 +48,8 @@ class MappingStore:
         self._cache: "OrderedDict[int, List[Optional[int]]]" = OrderedDict()
         self._frontier: Optional[int] = None
         self._full_blocks: Set[int] = set()
+        #: Optional tracer, threaded down by LazyFTL.attach_tracer.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Membership (for GC candidate enumeration and checkpoints)
@@ -83,7 +86,15 @@ class MappingStore:
         tppn = self.gtd.get(tvpn)
         if tppn is None:
             return None, 0.0
-        content, _, latency = self.flash.read_page(tppn)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.push_cause(Cause.MAPPING)
+        try:
+            content, _, latency = self.flash.read_page(tppn)
+        finally:
+            if tracer is not None:
+                tracer.pop_cause()
+                tracer.emit(EventType.MAP_READ, lpn=tvpn, ppn=tppn)
         self.stats.map_reads += 1
         self._cache_put(tvpn, list(content))
         return content[idx], latency
@@ -99,6 +110,8 @@ class MappingStore:
             return [None] * self.entries_per_page, 0.0
         content, _, latency = self.flash.read_page(tppn)
         self.stats.map_reads += 1
+        if self.tracer is not None:
+            self.tracer.emit(EventType.MAP_READ, lpn=tvpn, ppn=tppn)
         return list(content), latency
 
     # ------------------------------------------------------------------
@@ -132,6 +145,12 @@ class MappingStore:
                 content[lpn % self.entries_per_page] = new_ppn
                 self.stats.batched_commits += 1
             latency += self._program(tvpn, content)
+        if self.tracer is not None:
+            self.tracer.emit(
+                EventType.BATCH_COMMIT,
+                entries=sum(len(g) for g in groups.values()),
+                gmt_pages=len(groups),
+            )
         return latency
 
     def _program(self, tvpn: int, content: List[Optional[int]]) -> float:
@@ -145,6 +164,8 @@ class MappingStore:
             OOBData(lpn=tvpn, seq=self.seq.next(), kind=PageKind.MAPPING),
         )
         self.stats.map_writes += 1
+        if self.tracer is not None:
+            self.tracer.emit(EventType.MAP_WRITE, lpn=tvpn, ppn=ppn)
         old = self.gtd.get(tvpn)
         if old is not None:
             self.flash.invalidate_page(old)
@@ -176,6 +197,8 @@ class MappingStore:
             content, oob, read_lat = self.flash.read_page(src)
             latency += read_lat
             self.stats.map_reads += 1
+            if self.tracer is not None:
+                self.tracer.emit(EventType.MAP_READ, lpn=oob.lpn, ppn=src)
             latency += self._ensure_frontier()
             dst_block = self.flash.block(self._frontier)
             dst = geometry.ppn_of(self._frontier, dst_block.write_ptr)
@@ -186,6 +209,8 @@ class MappingStore:
                         kind=PageKind.MAPPING),
             )
             self.stats.map_writes += 1
+            if self.tracer is not None:
+                self.tracer.emit(EventType.MAP_WRITE, lpn=oob.lpn, ppn=dst)
             self.stats.gc_page_copies += 1
             self.gtd.set(oob.lpn, dst)
             self.flash.invalidate_page(src)

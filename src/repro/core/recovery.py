@@ -35,6 +35,7 @@ from ..flash.geometry import MAP_ENTRY_BYTES
 from ..flash.oob import OOBData, PageKind, SequenceCounter
 from ..ftl.pool import BlockPool
 from ..ftl.stats import FtlStats
+from ..obs.events import Cause
 from .config import LazyConfig
 
 
@@ -169,6 +170,12 @@ def recover(
     from .lazyftl import ANCHOR_BLOCKS, LazyFTL
 
     flash.power_on()
+    # Attribute the whole scan to the recovery cause if a tracer is
+    # attached to the device (recovery predates the rebuilt FTL, so the
+    # tracer rides on the flash chip here).
+    tracer = flash.tracer
+    if tracer is not None:
+        tracer.push_cause(Cause.RECOVERY)
     ftl = LazyFTL(flash, logical_pages, config)
     geometry = flash.geometry
     latency = 0.0
@@ -373,6 +380,9 @@ def recover(
             max_seq = max(max_seq, oob.seq)
     ftl._seq.fast_forward(max_seq)
     ftl.stats.recovery_reads += pages_read
+    if tracer is not None:
+        tracer.pop_cause()
+        ftl.attach_tracer(tracer)
 
     report = RecoveryReport(
         checkpoint_found=state is not None,

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, List, Optional, Tuple
 
+from ..obs.events import EventType
 from .block import Block
 from .errors import BadBlockError, DeviceOffError, PowerLossError
 from .fault import PowerFault
@@ -57,6 +58,9 @@ class NandFlash:
         self.stats = FlashStats()
         self.fault = PowerFault()
         self._powered = True
+        #: Optional :class:`repro.obs.tracer.Tracer`.  When None (the
+        #: default) every emission site below is a single dead branch.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Power management (crash simulation)
@@ -95,6 +99,8 @@ class NandFlash:
         latency = self.timing.page_read_us
         self.stats.page_reads += 1
         self.stats.read_us += latency
+        if self.tracer is not None:
+            self.tracer.flash_op(EventType.PAGE_READ, ppn, latency)
         return data, oob, latency
 
     def read_oob(self, ppn: int) -> Tuple[Optional[OOBData], float]:
@@ -121,6 +127,8 @@ class NandFlash:
         latency = self.timing.page_read_us
         self.stats.page_reads += 1
         self.stats.read_us += latency
+        if self.tracer is not None:
+            self.tracer.flash_op(EventType.PAGE_READ, ppn, latency)
         if page.is_free:
             return None, latency
         return page.oob, latency
@@ -146,6 +154,11 @@ class NandFlash:
         latency = self.timing.page_program_us
         self.stats.page_programs += 1
         self.stats.program_us += latency
+        if self.tracer is not None:
+            self.tracer.flash_op(
+                EventType.PAGE_PROGRAM, ppn, latency,
+                lpn=oob.lpn if oob is not None else None,
+            )
         return latency
 
     def erase_block(self, pbn: int) -> float:
@@ -168,6 +181,8 @@ class NandFlash:
         latency = self.timing.block_erase_us
         self.stats.block_erases += 1
         self.stats.erase_us += latency
+        if self.tracer is not None:
+            self.tracer.flash_op(EventType.BLOCK_ERASE, pbn, latency)
         if self.endurance is not None and block.erase_count >= self.endurance:
             block.force_erase()  # contents are gone either way
             block.mark_bad()

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..flash.chip import NandFlash
+from ..obs.tracer import Tracer
 from .stats import FtlStats
 
 
@@ -67,6 +68,10 @@ class FlashTranslationLayer(ABC):
         self.flash = flash
         self.logical_pages = logical_pages
         self.stats = FtlStats()
+        #: Optional tracer; every emission site in subclasses is guarded
+        #: by a single ``if self._tracer is not None`` branch so the
+        #: disabled path costs nothing (see repro.obs).
+        self._tracer: "Tracer | None" = None
 
     # ------------------------------------------------------------------
     # Host interface
@@ -94,6 +99,27 @@ class FlashTranslationLayer(ABC):
         arrival finds the device idle.
         """
         return 0.0
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self) -> "Tracer | None":
+        return self._tracer
+
+    def attach_tracer(self, tracer: Tracer) -> Tracer:
+        """Attach an event tracer to this FTL and its flash device.
+
+        Subclasses with traced sub-components (LazyFTL's MappingStore)
+        extend this to thread the tracer further down.
+        """
+        self._tracer = tracer
+        self.flash.tracer = tracer
+        return tracer
+
+    def detach_tracer(self) -> None:
+        self._tracer = None
+        self.flash.tracer = None
 
     # ------------------------------------------------------------------
     # Introspection

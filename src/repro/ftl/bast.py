@@ -26,6 +26,7 @@ from typing import Any, Dict
 from ..flash.chip import NandFlash
 from ..flash.geometry import MAP_ENTRY_BYTES
 from ..flash.oob import OOBData, SequenceCounter
+from ..obs.events import Cause, EventType
 from .base import UNMAPPED_READ_US, FlashTranslationLayer, HostResult
 from .pool import BlockPool
 
@@ -188,10 +189,24 @@ class BastFTL(FlashTranslationLayer):
             log.entries.get(i) == i for i in range(k)
         )
         if in_order_prefix and k == self.pages_per_block:
-            return self._switch_merge(lbn, log, data_pbn)
-        if in_order_prefix and k > 0:
-            return self._partial_merge(lbn, log, data_pbn, k)
-        return self._full_merge(lbn, log, data_pbn)
+            kind = "switch"
+        elif in_order_prefix and k > 0:
+            kind = "partial"
+        else:
+            kind = "full"
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.span_start(EventType.MERGE_START, Cause.MERGE,
+                              lpn=lbn, kind=kind)
+        try:
+            if kind == "switch":
+                return self._switch_merge(lbn, log, data_pbn)
+            if kind == "partial":
+                return self._partial_merge(lbn, log, data_pbn, k)
+            return self._full_merge(lbn, log, data_pbn)
+        finally:
+            if tracer is not None:
+                tracer.span_end(EventType.MERGE_END, lpn=lbn, kind=kind)
 
     def _switch_merge(self, lbn: int, log: _LogBlock, data_pbn: int) -> float:
         """The full, in-order log block simply becomes the data block."""

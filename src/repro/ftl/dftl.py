@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 from ..flash.chip import NandFlash
 from ..flash.geometry import MAP_ENTRY_BYTES
 from ..flash.oob import OOBData, PageKind, SequenceCounter
+from ..obs.events import Cause, EventType
 from .base import UNMAPPED_READ_US, FlashTranslationLayer, HostResult
 from .gc_policy import select_greedy
 from .pool import BlockPool, OutOfBlocksError
@@ -139,15 +140,26 @@ class DftlFTL(FlashTranslationLayer):
         if entry is not None:
             self._cmt.move_to_end(lpn)
             return entry.ppn, 0.0
-        latency = self._make_room()
-        tvpn = self._tvpn_of(lpn)
-        tppn = self._gtd[tvpn]
-        ppn: Optional[int] = None
-        if tppn is not None:
-            content, _, read_lat = self.flash.read_page(tppn)
-            latency += read_lat
-            self.stats.map_reads += 1
-            ppn = content[lpn % self.entries_per_page]
+        # CMT miss: evictions and the translation-page fetch below are
+        # translation overhead on the host path.
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.push_cause(Cause.MAPPING)
+        try:
+            latency = self._make_room()
+            tvpn = self._tvpn_of(lpn)
+            tppn = self._gtd[tvpn]
+            ppn: Optional[int] = None
+            if tppn is not None:
+                content, _, read_lat = self.flash.read_page(tppn)
+                latency += read_lat
+                self.stats.map_reads += 1
+                if tracer is not None:
+                    tracer.emit(EventType.MAP_READ, lpn=tvpn, ppn=tppn)
+                ppn = content[lpn % self.entries_per_page]
+        finally:
+            if tracer is not None:
+                tracer.pop_cause()
         self._cmt[lpn] = _CmtEntry(ppn, dirty=False)
         return ppn, latency
 
@@ -195,6 +207,8 @@ class DftlFTL(FlashTranslationLayer):
             return [None] * self.entries_per_page, 0.0
         content, _, latency = self.flash.read_page(tppn)
         self.stats.map_reads += 1
+        if self._tracer is not None:
+            self._tracer.emit(EventType.MAP_READ, lpn=tvpn, ppn=tppn)
         return list(content), latency
 
     def _program_tpage(self, tvpn: int, content: List[Optional[int]]) -> float:
@@ -207,6 +221,8 @@ class DftlFTL(FlashTranslationLayer):
             OOBData(lpn=tvpn, seq=self._seq.next(), kind=PageKind.MAPPING),
         )
         self.stats.map_writes += 1
+        if self._tracer is not None:
+            self._tracer.emit(EventType.MAP_WRITE, lpn=tvpn, ppn=ppn)
         old = self._gtd[tvpn]
         if old is not None:
             self.flash.invalidate_page(old)
@@ -280,15 +296,23 @@ class DftlFTL(FlashTranslationLayer):
                 "DFTL GC victim fully valid - no reclaimable slack"
             )
         self.stats.gc_runs += 1
-        self._in_gc = True
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.span_start(EventType.GC_START, Cause.GC,
+                              ppn=victim.index)
         try:
-            if victim.index in self._trans_blocks:
-                latency = self._collect_trans_block(victim.index)
-            else:
-                latency = self._collect_data_block(victim.index)
+            self._in_gc = True
+            try:
+                if victim.index in self._trans_blocks:
+                    latency = self._collect_trans_block(victim.index)
+                else:
+                    latency = self._collect_data_block(victim.index)
+            finally:
+                self._in_gc = False
+            latency += self.flash.erase_block(victim.index)
         finally:
-            self._in_gc = False
-        latency += self.flash.erase_block(victim.index)
+            if tracer is not None:
+                tracer.span_end(EventType.GC_END, ppn=victim.index)
         self.stats.gc_erases += 1
         self._data_blocks.discard(victim.index)
         self._trans_blocks.discard(victim.index)
@@ -305,6 +329,8 @@ class DftlFTL(FlashTranslationLayer):
             content, oob, read_lat = self.flash.read_page(src)
             latency += read_lat
             self.stats.map_reads += 1
+            if self._tracer is not None:
+                self._tracer.emit(EventType.MAP_READ, lpn=oob.lpn, ppn=src)
             latency += self._ensure_trans_active()
             dst = self._frontier(self._trans_active)
             latency += self.flash.program_page(
@@ -314,6 +340,8 @@ class DftlFTL(FlashTranslationLayer):
                         kind=PageKind.MAPPING),
             )
             self.stats.map_writes += 1
+            if self._tracer is not None:
+                self._tracer.emit(EventType.MAP_WRITE, lpn=oob.lpn, ppn=dst)
             self.stats.gc_page_copies += 1
             self._gtd[oob.lpn] = dst
             self.flash.invalidate_page(src)

@@ -19,6 +19,7 @@ from typing import Any, Dict, List, Optional
 from ..flash.chip import NandFlash
 from ..flash.geometry import MAP_ENTRY_BYTES
 from ..flash.oob import OOBData, SequenceCounter
+from ..obs.events import Cause, EventType
 from .base import UNMAPPED_READ_US, FlashTranslationLayer, HostResult
 from .pool import BlockPool
 
@@ -191,6 +192,17 @@ class FastFTL(FlashTranslationLayer):
     # ------------------------------------------------------------------
     def _merge_sw(self) -> float:
         """Retire the SW log block: switch if complete, else partial merge."""
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.span_start(EventType.MERGE_START, Cause.MERGE,
+                              lpn=self._sw.lbn, kind="sw")
+        try:
+            return self._merge_sw_inner()
+        finally:
+            if tracer is not None:
+                tracer.span_end(EventType.MERGE_END, kind="sw")
+
+    def _merge_sw_inner(self) -> float:
         sw = self._sw
         self._sw = None
         sw_block = self.flash.block(sw.pbn)
@@ -221,6 +233,17 @@ class FastFTL(FlashTranslationLayer):
 
     def _merge_oldest_rw(self) -> float:
         """Reclaim the oldest RW log block via full merges of its lbns."""
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.span_start(EventType.MERGE_START, Cause.MERGE,
+                              ppn=self._rw_blocks[0], kind="rw")
+        try:
+            return self._merge_oldest_rw_inner()
+        finally:
+            if tracer is not None:
+                tracer.span_end(EventType.MERGE_END, kind="rw")
+
+    def _merge_oldest_rw_inner(self) -> float:
         victim = self._rw_blocks.pop(0)
         victim_block = self.flash.block(victim)
         geometry = self.flash.geometry

@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Optional
 from ..flash.chip import NandFlash
 from ..flash.geometry import MAP_ENTRY_BYTES
 from ..flash.oob import OOBData, SequenceCounter
+from ..obs.events import Cause, EventType
 from .base import UNMAPPED_READ_US, FlashTranslationLayer, HostResult
 from .pool import BlockPool
 
@@ -214,6 +215,17 @@ class LastFTL(FlashTranslationLayer):
 
     def _merge_seq(self, lbn: int) -> float:
         """Switch or partial merge of a sequential log block."""
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.span_start(EventType.MERGE_START, Cause.MERGE,
+                              lpn=lbn, kind="seq")
+        try:
+            return self._merge_seq_inner(lbn)
+        finally:
+            if tracer is not None:
+                tracer.span_end(EventType.MERGE_END, lpn=lbn, kind="seq")
+
+    def _merge_seq_inner(self, lbn: int) -> float:
         seq = self._seq_logs.pop(lbn)
         log_block = self.flash.block(seq.pbn)
         data_pbn = self._block_map[lbn]
@@ -284,6 +296,18 @@ class LastFTL(FlashTranslationLayer):
 
     def _merge_random(self, victim: int) -> float:
         """Full merges for every lbn with valid pages in the victim."""
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.span_start(EventType.MERGE_START, Cause.MERGE,
+                              ppn=victim, kind="random")
+        try:
+            return self._merge_random_inner(victim)
+        finally:
+            if tracer is not None:
+                tracer.span_end(EventType.MERGE_END, ppn=victim,
+                                kind="random")
+
+    def _merge_random_inner(self, victim: int) -> float:
         victim_block = self.flash.block(victim)
         latency = 0.0
         lbns: List[int] = []

@@ -23,6 +23,7 @@ from typing import Any, Dict, List, Optional
 from ..flash.chip import NandFlash
 from ..flash.geometry import MAP_ENTRY_BYTES
 from ..flash.oob import OOBData, SequenceCounter
+from ..obs.events import Cause, EventType
 from .base import UNMAPPED_READ_US, FlashTranslationLayer, HostResult
 from .pool import BlockPool
 
@@ -171,6 +172,17 @@ class NftlFTL(FlashTranslationLayer):
 
     def _fold(self, lbn: int, chain: _Chain) -> float:
         """Collapse the chain: newest versions into one fresh block."""
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.span_start(EventType.MERGE_START, Cause.MERGE,
+                              lpn=lbn, kind="fold")
+        try:
+            return self._fold_inner(lbn, chain)
+        finally:
+            if tracer is not None:
+                tracer.span_end(EventType.MERGE_END, lpn=lbn, kind="fold")
+
+    def _fold_inner(self, lbn: int, chain: _Chain) -> float:
         self.stats.merges_full += 1
         geometry = self.flash.geometry
         latency = 0.0

@@ -17,6 +17,7 @@ from typing import Any, List, Optional, Set
 from ..flash.chip import NandFlash
 from ..flash.geometry import MAP_ENTRY_BYTES
 from ..flash.oob import OOBData, SequenceCounter
+from ..obs.events import Cause, EventType
 from .base import UNMAPPED_READ_US, FlashTranslationLayer, HostResult
 from .gc_policy import select_greedy
 from .pool import BlockPool, OutOfBlocksError
@@ -126,21 +127,29 @@ class PageFTL(FlashTranslationLayer):
                 "reclaimable slack (reduce logical_pages)"
             )
         self.stats.gc_runs += 1
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.span_start(EventType.GC_START, Cause.GC,
+                              ppn=victim.index)
         latency = 0.0
         geometry = self.flash.geometry
-        for offset in list(victim.valid_offsets()):
-            src = geometry.ppn_of(victim.index, offset)
-            data, oob, read_lat = self.flash.read_page(src)
-            latency += read_lat
-            latency += self._gc_destination()
-            dst = self._frontier(self._gc_active)
-            latency += self.flash.program_page(
-                dst, data, OOBData(lpn=oob.lpn, seq=self._seq.next())
-            )
-            self._map[oob.lpn] = dst
-            self.flash.invalidate_page(src)
-            self.stats.gc_page_copies += 1
-        latency += self.flash.erase_block(victim.index)
+        try:
+            for offset in list(victim.valid_offsets()):
+                src = geometry.ppn_of(victim.index, offset)
+                data, oob, read_lat = self.flash.read_page(src)
+                latency += read_lat
+                latency += self._gc_destination()
+                dst = self._frontier(self._gc_active)
+                latency += self.flash.program_page(
+                    dst, data, OOBData(lpn=oob.lpn, seq=self._seq.next())
+                )
+                self._map[oob.lpn] = dst
+                self.flash.invalidate_page(src)
+                self.stats.gc_page_copies += 1
+            latency += self.flash.erase_block(victim.index)
+        finally:
+            if tracer is not None:
+                tracer.span_end(EventType.GC_END, ppn=victim.index)
         self.stats.gc_erases += 1
         self._data_blocks.discard(victim.index)
         self._pool.release(victim.index)

@@ -25,6 +25,7 @@ from typing import Any, Dict, List, Optional
 from ..flash.chip import NandFlash
 from ..flash.geometry import MAP_ENTRY_BYTES
 from ..flash.oob import OOBData, SequenceCounter
+from ..obs.events import Cause, EventType
 from .base import UNMAPPED_READ_US, FlashTranslationLayer, HostResult
 from .gc_policy import select_greedy
 from .pool import BlockPool
@@ -164,6 +165,18 @@ class SuperblockFTL(FlashTranslationLayer):
             self.flash.block(pbn) for pbn in group.blocks[:-1]
         ] or [self.flash.block(group.blocks[0])]
         victim = select_greedy(candidates)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.span_start(EventType.GC_START, Cause.GC,
+                              ppn=victim.index)
+        try:
+            return self._clean_group_inner(group, victim)
+        finally:
+            if tracer is not None:
+                tracer.span_end(EventType.GC_END, ppn=victim.index)
+
+    def _clean_group_inner(self, group: _Superblock, victim) -> float:
+        geometry = self.flash.geometry
         latency = 0.0
         # Move the victim's live pages into the newest block's free pages;
         # allocate a relocation block if the group has no room.

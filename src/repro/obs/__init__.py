@@ -1,0 +1,56 @@
+"""Observability: structured event tracing and metrics for the simulator.
+
+The subsystem has three layers:
+
+* **events** - the typed taxonomy (:class:`EventType`, :class:`Cause`,
+  :class:`TraceEvent`) and its JSONL record format;
+* **tracer** - the :class:`Tracer` threaded through the flash chip, the
+  FTL schemes and the simulator; zero overhead when detached;
+* **sinks / metrics** - JSONL and ring-buffer sinks, the streaming
+  per-cause :class:`AttributionSink`, and counters/histograms in a
+  :class:`MetricsRegistry`.
+
+Quick start::
+
+    from repro.obs import JsonlSink, Tracer
+    from repro.sim import HEADLINE_DEVICE, compare_schemes
+
+    tracer = Tracer([JsonlSink("run.jsonl")])
+    results = compare_schemes(trace, device=HEADLINE_DEVICE, tracer=tracer)
+    tracer.close()
+    print(tracer.attribution.as_dict())
+
+or, from the command line::
+
+    python -m repro compare --trace random --trace-out run.jsonl --metrics
+    python -m repro inspect-trace run.jsonl
+"""
+
+from .events import (
+    FLASH_OP_TYPES,
+    SCHEMA_VERSION,
+    SPAN_PAIRS,
+    Cause,
+    EventType,
+    TraceEvent,
+)
+from .metrics import Counter, MetricsRegistry, StreamingHistogram
+from .sinks import AttributionSink, JsonlSink, RingBufferSink, TraceSink
+from .tracer import Tracer
+
+__all__ = [
+    "FLASH_OP_TYPES",
+    "SCHEMA_VERSION",
+    "SPAN_PAIRS",
+    "Cause",
+    "EventType",
+    "TraceEvent",
+    "Counter",
+    "MetricsRegistry",
+    "StreamingHistogram",
+    "AttributionSink",
+    "JsonlSink",
+    "RingBufferSink",
+    "TraceSink",
+    "Tracer",
+]

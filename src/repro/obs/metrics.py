@@ -1,0 +1,125 @@
+"""Lightweight metrics primitives: counters and streaming histograms.
+
+These are deliberately dependency-free and O(1) per observation so the
+tracing-enabled path stays cheap.  The histogram is log2-bucketed (like
+the ones real storage stacks export): exact counts, approximate quantiles
+with one-bucket resolution - good enough to spot a bimodal latency
+profile, which is exactly what merge stalls produce.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Tuple
+
+
+class Counter:
+    """A named monotonic counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class StreamingHistogram:
+    """Log2-bucketed histogram of non-negative samples.
+
+    Bucket ``i`` counts samples in ``(2**(i-1), 2**i]`` (bucket 0 counts
+    samples <= 1).  Tracks exact count/total/min/max alongside.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+        self._buckets: Dict[int, int] = {}
+
+    def add(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("histogram samples must be non-negative")
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        bucket = 0 if value <= 1.0 else math.ceil(math.log2(value))
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def buckets(self) -> List[Tuple[float, int]]:
+        """Sorted ``(upper_bound, count)`` pairs of non-empty buckets."""
+        return [(2.0 ** b, self._buckets[b]) for b in sorted(self._buckets)]
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile (0 < q <= 1): its bucket's upper bound."""
+        if not 0 < q <= 1:
+            raise ValueError("q must be in (0, 1]")
+        if not self.count:
+            return 0.0
+        rank = math.ceil(q * self.count)
+        seen = 0
+        for upper, n in self.buckets():
+            seen += n
+            if seen >= rank:
+                return min(upper, self.max)
+        return self.max  # pragma: no cover - defensive
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+            "buckets": self.buckets(),
+        }
+
+
+class MetricsRegistry:
+    """Name -> Counter/StreamingHistogram registry owned by a Tracer."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, StreamingHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str) -> StreamingHistogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = StreamingHistogram(name)
+        return histogram
+
+    def counters(self) -> Iterator[Counter]:
+        return iter(sorted(self._counters.values(), key=lambda c: c.name))
+
+    def histograms(self) -> Iterator[StreamingHistogram]:
+        return iter(sorted(self._histograms.values(), key=lambda h: h.name))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "counters": {c.name: c.value for c in self.counters()},
+            "histograms": {h.name: h.as_dict() for h in self.histograms()},
+        }

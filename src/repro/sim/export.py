@@ -16,7 +16,7 @@ from .simulator import SimulationResult
 
 def result_to_dict(result: SimulationResult) -> Dict[str, object]:
     """Full, JSON-serialisable view of one run."""
-    return {
+    payload: Dict[str, object] = {
         "scheme": result.scheme,
         "trace": result.trace_name,
         "requests": result.requests,
@@ -28,6 +28,11 @@ def result_to_dict(result: SimulationResult) -> Dict[str, object]:
         "ram_bytes": result.ram_bytes,
         "device_busy_us": result.device_busy_us,
     }
+    if result.attribution is not None:
+        # Only traced runs carry the per-cause decomposition; untraced
+        # exports keep the seed schema byte-for-byte.
+        payload["attribution"] = result.attribution
+    return payload
 
 
 def results_to_json(

@@ -17,6 +17,11 @@ class LatencyDistribution:
         self._samples: List[float] = []
         self._total = 0.0
         self._sorted = True
+        self._min = math.inf
+        self._max = 0.0
+        #: How many times the sample list was actually sorted; queries
+        #: between additions must not grow this (regression-tested).
+        self.sorts_performed = 0
 
     def add(self, value: float) -> None:
         if value < 0:
@@ -25,6 +30,10 @@ class LatencyDistribution:
             self._sorted = False
         self._samples.append(value)
         self._total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -43,11 +52,11 @@ class LatencyDistribution:
 
     @property
     def max(self) -> float:
-        return max(self._samples) if self._samples else 0.0
+        return self._max if self._samples else 0.0
 
     @property
     def min(self) -> float:
-        return min(self._samples) if self._samples else 0.0
+        return self._min if self._samples else 0.0
 
     def percentile(self, q: float) -> float:
         """Exact q-quantile (0 < q <= 100), nearest-rank method."""
@@ -85,9 +94,12 @@ class LatencyDistribution:
         }
 
     def _ensure_sorted(self) -> None:
+        """Sort once, memoize: repeated percentile/CDF queries between
+        additions reuse the sorted list instead of re-sorting."""
         if not self._sorted:
             self._samples.sort()
             self._sorted = True
+            self.sorts_performed += 1
 
 
 class ResponseStats:

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..flash import SLC_TIMING, TimingModel
+from ..obs.tracer import Tracer
 from ..traces.model import Trace, merge_traces
 from ..traces.synthetic import uniform_random, warmup_fill
 from .factory import SCHEMES, standard_setup
@@ -89,6 +90,7 @@ def run_scheme(
     device: Optional[DeviceSpec] = None,
     warmup: Optional[Trace] = None,
     precondition: bool = True,
+    tracer: Optional[Tracer] = None,
     **options: Any,
 ) -> SimulationResult:
     """Run one scheme over one trace on a fresh device.
@@ -99,6 +101,8 @@ def run_scheme(
             worth of random pages so garbage collection is in steady state
             when measurement starts (the standard SSD methodology).
             Ignored when an explicit ``warmup`` trace is given.
+        tracer: Optional event tracer (see :mod:`repro.obs`); attached to
+            the scheme for the measured run (warm-up is not traced).
     """
     device = device if device is not None else DeviceSpec()
     opts = dict(DEFAULT_OPTIONS.get(scheme, {}))
@@ -129,7 +133,7 @@ def run_scheme(
                 name="steady-warmup",
             )
             warmup = merge_traces([warmup, overwrites], name="warmup")
-    simulator = Simulator(ftl)
+    simulator = Simulator(ftl, tracer=tracer)
     return simulator.run(trace, warmup=warmup)
 
 
@@ -139,13 +143,19 @@ def compare_schemes(
     device: Optional[DeviceSpec] = None,
     precondition: bool = True,
     options: Optional[Dict[str, Dict[str, Any]]] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Dict[str, SimulationResult]:
-    """Run several schemes over the same trace; returns scheme -> result."""
+    """Run several schemes over the same trace; returns scheme -> result.
+
+    With a ``tracer``, all schemes share it (events carry the scheme
+    name), so one JSONL file holds the whole comparison.
+    """
     results: Dict[str, SimulationResult] = {}
     for scheme in schemes:
         extra = (options or {}).get(scheme, {})
         results[scheme] = run_scheme(
-            scheme, trace, device=device, precondition=precondition, **extra
+            scheme, trace, device=device, precondition=precondition,
+            tracer=tracer, **extra
         )
     return results
 

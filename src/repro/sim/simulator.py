@@ -13,12 +13,13 @@ evaluation): the device serves one request at a time (FCFS).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..flash.stats import FlashStats, wear_summary
 from ..ftl.base import FlashTranslationLayer
 from ..ftl.stats import FtlStats
+from ..obs.tracer import Tracer
 from ..traces.model import Trace
 from .metrics import ResponseStats
 
@@ -37,6 +38,9 @@ class SimulationResult:
     wear: Dict[str, float]
     ram_bytes: int
     device_busy_us: float
+    #: Per-cause time attribution (populated only when the run was traced;
+    #: see repro.obs) - the "where did the time go" decomposition.
+    attribution: Optional[Dict[str, object]] = field(default=None)
 
     @property
     def mean_response_us(self) -> float:
@@ -67,10 +71,26 @@ class SimulationResult:
 
 
 class Simulator:
-    """Replays traces against one FTL instance."""
+    """Replays traces against one FTL instance.
 
-    def __init__(self, ftl: FlashTranslationLayer):
+    Args:
+        ftl: The scheme under test.
+        tracer: Optional :class:`~repro.obs.tracer.Tracer`; when given it
+            is attached through the FTL down to the flash chip, host
+            events are emitted per page operation, and the result carries
+            a per-cause time attribution.  When None (the default) the
+            whole replay path is tracing-free.
+    """
+
+    def __init__(
+        self,
+        ftl: FlashTranslationLayer,
+        tracer: Optional[Tracer] = None,
+    ):
         self.ftl = ftl
+        self.tracer = tracer
+        if tracer is not None:
+            ftl.attach_tracer(tracer)
 
     def warm_up(self, trace: Trace) -> None:
         """Run a trace without recording statistics (pre-conditioning)."""
@@ -94,8 +114,17 @@ class Simulator:
             reset_counters: Snapshot-and-diff the flash counters so the
                 result reflects only the measured trace.
         """
+        tracer = self.tracer
         if warmup is not None:
+            # Warm-up is pre-conditioning, not measurement: keep it out of
+            # the trace so event streams describe only the measured run.
+            if tracer is not None:
+                tracer.suspend()
             self.warm_up(warmup)
+            if tracer is not None:
+                tracer.resume()
+        if tracer is not None:
+            tracer.begin_run(self.ftl.name)
         flash_before = self.ftl.flash.stats.snapshot() if reset_counters \
             else FlashStats()
         ftl_before = self.ftl.stats.snapshot() if reset_counters \
@@ -109,21 +138,33 @@ class Simulator:
             if arrival > device_free_at:
                 # The device is idle until this arrival: offer the gap to
                 # the FTL's housekeeping (background GC etc.).
+                if tracer is not None:
+                    tracer.set_clock(device_free_at)
                 used = self.ftl.background_work(arrival - device_free_at)
                 if used > 0:
                     device_free_at += used
                     busy += used
             start = max(arrival, device_free_at)
+            if tracer is not None:
+                # Events of this request are stamped from its service
+                # start; flash ops advance the clock as they happen.
+                tracer.set_clock(start)
             service = 0.0
             for lpn in request.pages:
                 if request.is_write:
-                    service += self.ftl.write(lpn, None).latency_us
+                    op_latency = self.ftl.write(lpn, None).latency_us
                 else:
-                    service += self.ftl.read(lpn).latency_us
+                    op_latency = self.ftl.read(lpn).latency_us
+                service += op_latency
+                if tracer is not None:
+                    tracer.host_op(request.is_write, lpn, op_latency)
             completion = start + service
             responses.record(request.is_write, completion - arrival)
             device_free_at = completion
             busy += service
+        attribution = None
+        if tracer is not None:
+            attribution = tracer.attribution.scheme_summary(self.ftl.name)
         return SimulationResult(
             scheme=self.ftl.name,
             trace_name=trace.name,
@@ -135,4 +176,5 @@ class Simulator:
             wear=wear_summary(self.ftl.flash.erase_counts()),
             ram_bytes=self.ftl.ram_bytes(),
             device_busy_us=busy,
+            attribution=attribution,
         )

@@ -73,3 +73,63 @@ class TestCommands:
             "--page-size", "512", "--logical-fraction", "0.7",
         ])
         assert rc == 2
+
+
+@pytest.mark.obs
+class TestTracingCommands:
+    def test_compare_trace_out_then_inspect(self, tmp_path, capsys):
+        """The record/inspect loop: compare writes a schema-valid JSONL
+        trace, inspect-trace decomposes it per cause."""
+        path = tmp_path / "events.jsonl"
+        rc = main([
+            "compare", "--trace", "random", "--requests", "300",
+            "--schemes", "FAST", "LazyFTL",
+            "--trace-out", str(path), *SMALL_DEVICE,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "flash time by cause" in out
+        assert path.exists() and path.stat().st_size > 0
+
+        rc = main(["inspect-trace", str(path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "flash time by cause" in out
+        assert "merge_ms" in out
+        assert "LazyFTL" in out and "FAST" in out
+
+    def test_compare_metrics_flag(self, capsys):
+        rc = main([
+            "compare", "--trace", "random", "--requests", "200",
+            "--schemes", "LazyFTL", "--metrics", *SMALL_DEVICE,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        assert "events.HostWrite" in out
+        assert "flash.PageProgram_us" in out
+
+    def test_inspect_trace_empty(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["inspect-trace", str(path)]) == 2
+        assert "no events" in capsys.readouterr().err
+
+    def test_inspect_trace_missing_file(self, tmp_path, capsys):
+        assert main(["inspect-trace", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_inspect_trace_garbage(self, tmp_path, capsys):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("hello world\n")
+        assert main(["inspect-trace", str(path)]) == 2
+        assert "bad trace record on line 1" in capsys.readouterr().err
+
+    def test_trace_out_unwritable(self, tmp_path, capsys):
+        rc = main([
+            "compare", "--trace", "random", "--requests", "100",
+            "--schemes", "ideal", *SMALL_DEVICE,
+            "--trace-out", str(tmp_path / "no-such-dir" / "t.jsonl"),
+        ])
+        assert rc == 2
+        assert "cannot open --trace-out" in capsys.readouterr().err

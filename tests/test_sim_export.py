@@ -6,6 +6,7 @@ import json
 
 from repro.flash import FlashGeometry, NandFlash, UNIT_TIMING
 from repro.ftl import PageFTL
+from repro.obs import Tracer
 from repro.sim import (
     CSV_COLUMNS,
     Simulator,
@@ -17,11 +18,11 @@ from repro.sim import (
 from repro.traces import uniform_random
 
 
-def run_one():
+def run_one(tracer=None):
     flash = NandFlash(FlashGeometry(num_blocks=32, pages_per_block=8),
                       timing=UNIT_TIMING)
     ftl = PageFTL(flash, logical_pages=128)
-    return Simulator(ftl).run(uniform_random(500, 128, seed=0))
+    return Simulator(ftl, tracer=tracer).run(uniform_random(500, 128, seed=0))
 
 
 class TestJsonExport:
@@ -40,6 +41,38 @@ class TestJsonExport:
             "scheme", "trace", "requests", "page_ops", "responses",
             "flash", "ftl", "wear", "ram_bytes", "device_busy_us",
         }
+
+    def test_result_to_dict_round_trips_losslessly(self):
+        """to_dict -> json -> back preserves every exported figure."""
+        result = run_one()
+        d = result_to_dict(result)
+        restored = json.loads(json.dumps(d))
+        assert restored == json.loads(json.dumps(result_to_dict(result)))
+        assert restored["requests"] == result.requests
+        assert restored["page_ops"] == result.page_ops
+        assert restored["ram_bytes"] == result.ram_bytes
+        assert restored["device_busy_us"] == result.device_busy_us
+        assert restored["responses"]["overall"]["mean_us"] == \
+            result.responses.overall.mean
+        assert restored["flash"] == result.flash.as_dict()
+        assert restored["ftl"] == result.ftl_stats.as_dict()
+        assert restored["wear"] == result.wear
+
+    def test_untraced_result_has_no_attribution(self):
+        result = run_one()
+        assert result.attribution is None
+        assert "attribution" not in result_to_dict(result)
+
+    def test_traced_result_exports_attribution(self):
+        """A traced run carries the per-phase attribution through export
+        and it survives a JSON round trip."""
+        result = run_one(tracer=Tracer())
+        d = result_to_dict(result)
+        attribution = json.loads(json.dumps(d))["attribution"]
+        assert attribution["total_us"] > 0
+        assert "host" in attribution["time_by_cause_us"]
+        assert attribution["merges"] == 0  # page FTL never merges
+        assert attribution["events"]["HostWrite"] > 0
 
 
 class TestCsvExport:

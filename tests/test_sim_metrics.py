@@ -68,6 +68,46 @@ class TestLatencyDistribution:
             "max_us",
         }
 
+    def test_percentile_sorts_once_and_memoizes(self):
+        """Regression: repeated queries between additions reuse the one
+        sort instead of re-sorting per percentile call."""
+        d = LatencyDistribution()
+        for v in (5.0, 1.0, 9.0, 3.0, 7.0):
+            d.add(v)
+        assert d.sorts_performed == 0
+        d.summary()  # five percentile queries plus min/max
+        assert d.sorts_performed == 1
+        d.percentile(50)
+        d.cdf_points(resolution=4)
+        assert d.sorts_performed == 1
+        # A new out-of-order sample invalidates; the next query re-sorts
+        # exactly once more.
+        d.add(2.0)
+        assert d.percentile(100) == 9.0
+        assert d.sorts_performed == 2
+
+    def test_sorted_input_never_sorts(self):
+        d = LatencyDistribution()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            d.add(v)
+        assert d.percentile(50) == 2.0
+        assert d.sorts_performed == 0
+
+    def test_running_min_max_no_rescan(self):
+        """min/max are maintained incrementally (O(1) per query) and
+        survive the sort-invalidation dance."""
+        d = LatencyDistribution()
+        for v in (5.0, 1.0, 9.0):
+            d.add(v)
+        assert (d.min, d.max) == (1.0, 9.0)
+        d.add(0.5)
+        d.add(20.0)
+        assert (d.min, d.max) == (0.5, 20.0)
+        # Queries don't re-scan the samples list: corrupt one entry and
+        # the maintained extrema still answer correctly.
+        d._samples[0] = -999.0
+        assert (d.min, d.max) == (0.5, 20.0)
+
 
 class TestResponseStats:
     def test_split_by_op(self):

@@ -1,0 +1,75 @@
+"""Tests for tools/check_trace_schema.py (the CI trace validator)."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs import JsonlSink, Tracer
+from repro.sim import DeviceSpec, run_scheme
+from repro.traces import uniform_random
+
+pytestmark = pytest.mark.obs
+
+TOOL = str(
+    pathlib.Path(__file__).resolve().parent.parent
+    / "tools" / "check_trace_schema.py"
+)
+
+
+def run_tool(*args):
+    return subprocess.run(
+        [sys.executable, TOOL, *args],
+        capture_output=True, text=True, timeout=120,
+    )
+
+
+def write_real_trace(path):
+    device = DeviceSpec(num_blocks=96, pages_per_block=16, page_size=512,
+                        logical_fraction=0.7)
+    tracer = Tracer(sinks=[JsonlSink(str(path))])
+    run_scheme(
+        "LazyFTL",
+        uniform_random(400, int(device.logical_pages * 0.9),
+                       write_ratio=0.9, seed=3),
+        device=device, tracer=tracer,
+    )
+    tracer.close()
+
+
+class TestCheckTraceSchema:
+    def test_real_trace_is_clean(self, tmp_path):
+        path = tmp_path / "ok.jsonl"
+        write_real_trace(path)
+        proc = run_tool(str(path))
+        assert proc.returncode == 0, proc.stderr
+        assert "OK" in proc.stdout
+
+    def test_violations_fail(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        records = [
+            {"type": "Bogus", "ts": 0, "scheme": "x", "cause": "host"},
+            {"type": "PageRead", "ts": 5, "scheme": "x", "cause": "host",
+             "ppn": 1},                            # flash op without dur
+            {"type": "HostRead", "ts": 1, "scheme": "x", "cause": "host"},
+            {"type": "GCEnd", "ts": 2, "scheme": "x", "cause": "gc"},
+            {"type": "MergeStart", "ts": 3, "scheme": "x",
+             "cause": "merge"},                    # never closed
+        ]
+        path.write_text(
+            "\n".join(json.dumps(r) for r in records) + "\nnot json\n"
+        )
+        proc = run_tool(str(path))
+        assert proc.returncode == 1
+        err = proc.stderr
+        assert "unparseable record" in err
+        assert "without dur_us" in err
+        assert "timestamp went backwards" in err
+        assert "GCEnd without a matching start" in err
+        assert "unclosed MergeStart" in err
+
+    def test_usage_errors(self, tmp_path):
+        assert run_tool().returncode == 2
+        assert run_tool(str(tmp_path / "missing.jsonl")).returncode == 2

@@ -1,0 +1,113 @@
+"""Validate a JSONL event trace against the observability schema.
+
+Checks every line of a trace written by ``repro compare --trace-out``:
+
+* each record parses as JSON and round-trips through
+  :class:`repro.obs.TraceEvent` (unknown ``type``/``cause`` values fail);
+* timestamps are non-negative and non-decreasing per scheme;
+* ``dur_us`` is non-negative, and present on every flash-op record;
+* GCStart/GCEnd and MergeStart/MergeEnd balance per scheme.
+
+Exit status is 0 when the trace is clean, 1 when any violation is found
+(each violation is printed with its line number), 2 on usage errors - so
+the script slots into CI after any trace-producing job.
+
+Run:  python tools/check_trace_schema.py path/to/trace.jsonl
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+# Stdlib-only bootstrap: make src/ importable no matter where the script
+# is invoked from.
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.obs import FLASH_OP_TYPES, SPAN_PAIRS, TraceEvent  # noqa: E402
+
+
+def check_trace(path: str, limit: int = 20):
+    """Yield ``(lineno, message)`` violations, at most ``limit``."""
+    last_ts = {}     # scheme -> last timestamp seen
+    span_depth = {}  # (scheme, start type) -> open spans
+    end_to_start = {end: start for start, end in SPAN_PAIRS.items()}
+    emitted = 0
+    with open(path, "r", encoding="utf-8") as stream:
+        for lineno, line in enumerate(stream, start=1):
+            if emitted >= limit:
+                yield lineno, f"... stopping after {limit} violations"
+                return
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = TraceEvent.from_record(json.loads(line))
+            except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                yield lineno, f"unparseable record: {exc}"
+                emitted += 1
+                continue
+            if event.ts < 0:
+                yield lineno, f"negative timestamp {event.ts}"
+                emitted += 1
+            if event.ts < last_ts.get(event.scheme, 0.0):
+                yield lineno, (
+                    f"timestamp went backwards for {event.scheme}: "
+                    f"{event.ts} < {last_ts[event.scheme]}"
+                )
+                emitted += 1
+            last_ts[event.scheme] = max(
+                last_ts.get(event.scheme, 0.0), event.ts
+            )
+            if event.dur_us < 0:
+                yield lineno, f"negative dur_us {event.dur_us}"
+                emitted += 1
+            if event.type in FLASH_OP_TYPES and event.dur_us <= 0:
+                yield lineno, f"flash op {event.type.value} without dur_us"
+                emitted += 1
+            if event.type in SPAN_PAIRS:
+                key = (event.scheme, event.type)
+                span_depth[key] = span_depth.get(key, 0) + 1
+            elif event.type in end_to_start:
+                key = (event.scheme, end_to_start[event.type])
+                depth = span_depth.get(key, 0)
+                if depth == 0:
+                    yield lineno, (
+                        f"{event.type.value} without a matching start "
+                        f"({event.scheme})"
+                    )
+                    emitted += 1
+                else:
+                    span_depth[key] = depth - 1
+    for (scheme, start_type), depth in sorted(span_depth.items()):
+        if depth:
+            yield 0, (
+                f"{depth} unclosed {start_type.value} span(s) for {scheme}"
+            )
+
+
+def main(argv):
+    if len(argv) != 2 or argv[1] in ("-h", "--help"):
+        print(__doc__.strip().splitlines()[0], file=sys.stderr)
+        print(f"usage: {argv[0]} TRACE.jsonl", file=sys.stderr)
+        return 2
+    path = argv[1]
+    if not pathlib.Path(path).is_file():
+        print(f"{path}: not a file", file=sys.stderr)
+        return 2
+    violations = 0
+    for lineno, message in check_trace(path):
+        where = f"line {lineno}" if lineno else "end of trace"
+        print(f"{path}: {where}: {message}", file=sys.stderr)
+        violations += 1
+    if violations:
+        return 1
+    print(f"{path}: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))
