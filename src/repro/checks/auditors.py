@@ -1,0 +1,364 @@
+"""Full-state mapping audits: the FTL-level half of flashsan.
+
+Where :class:`~repro.checks.flashsan.SanitizedNandFlash` checks each raw
+operation as it happens, the auditors here inspect a *quiescent* FTL and
+verify the global invariants that back the paper's claims:
+
+* **Ownership** - at most one live logical owner per physical page, and
+  every mapping points at a VALID page whose OOB reverse mapping agrees.
+* **Counter integrity** - each block's valid count / write pointer match a
+  recount of its page states (catches out-of-band ``Block`` mutation).
+* **LazyFTL** - GTD/GMT/UMT mutual consistency, every stale-but-valid page
+  is covered by a pending UMT entry (deferred invalidation is *tracked*
+  laziness, never a leak), and the zero-merge headline invariant.
+* **DFTL** - CMT/translation-page consistency (clean entries mirror flash,
+  dirty entries point at live data) and GTD/translation-page agreement.
+
+Audits are side-effect free: they read RAM tables and page state directly
+and never issue device operations, so they can run mid-benchmark without
+perturbing latencies or statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.lazyftl import LazyFTL
+from ..flash.chip import NandFlash
+from ..flash.oob import PageKind
+from ..ftl.base import FlashTranslationLayer
+from ..ftl.dftl import DftlFTL
+from .report import AuditReport, Violation, ViolationKind
+
+
+class _Auditor:
+    """Shared bookkeeping for one audit pass."""
+
+    def __init__(self, ftl: FlashTranslationLayer):
+        self.ftl = ftl
+        self.flash: NandFlash = ftl.flash
+        self.report = AuditReport(scheme=ftl.name)
+
+    def check(self) -> None:
+        self.report.checks_run += 1
+
+    def fail(
+        self,
+        kind: ViolationKind,
+        message: str,
+        lpn: Optional[int] = None,
+        ppn: Optional[int] = None,
+        pbn: Optional[int] = None,
+    ) -> None:
+        self.report.violations.append(Violation(
+            kind=kind, message=message, scheme=self.ftl.name,
+            lpn=lpn, ppn=ppn, pbn=pbn,
+        ))
+
+    # ------------------------------------------------------------------
+    # Generic checks
+    # ------------------------------------------------------------------
+    def audit_block_counters(self) -> None:
+        """Recount page states against each block's cached counters."""
+        sequential = self.flash.enforce_sequential
+        for block in self.flash.blocks:
+            self.check()
+            valid = sum(1 for p in block.pages if p.is_valid)
+            if valid != block.valid_count:
+                self.fail(
+                    ViolationKind.COUNTER_DRIFT,
+                    f"block {block.index} caches valid_count="
+                    f"{block.valid_count} but holds {valid} valid page(s)",
+                    pbn=block.index,
+                )
+            programmed = [
+                o for o, p in enumerate(block.pages) if not p.is_free
+            ]
+            if programmed and max(programmed) >= block.write_ptr:
+                self.fail(
+                    ViolationKind.COUNTER_DRIFT,
+                    f"block {block.index} has a programmed page at offset "
+                    f"{max(programmed)} beyond its write pointer "
+                    f"{block.write_ptr}",
+                    pbn=block.index,
+                )
+            if sequential:
+                free_below = [
+                    o for o in range(block.write_ptr)
+                    if block.pages[o].is_free
+                ]
+                if free_below:
+                    self.fail(
+                        ViolationKind.COUNTER_DRIFT,
+                        f"block {block.index} has free page(s) at "
+                        f"{free_below[:8]} below the write pointer on a "
+                        "sequential-program device",
+                        pbn=block.index,
+                    )
+
+    def audit_oob_reverse_mappings(self) -> None:
+        """Every valid data page's OOB lpn must be inside logical space."""
+        logical = self.ftl.logical_pages
+        for block in self.flash.blocks:
+            for offset, page in enumerate(block.pages):
+                if not page.is_valid or page.oob is None:
+                    continue
+                if page.oob.kind is not PageKind.DATA:
+                    continue
+                self.check()
+                if not 0 <= page.oob.lpn < logical:
+                    self.fail(
+                        ViolationKind.OOB_MISMATCH,
+                        f"valid data page (block {block.index}, offset "
+                        f"{offset}) claims out-of-range lpn {page.oob.lpn}",
+                        pbn=block.index, lpn=page.oob.lpn,
+                    )
+
+    def valid_data_owners(self) -> Dict[int, List[int]]:
+        """lpn -> ppns of all VALID data pages claiming it (via OOB)."""
+        owners: Dict[int, List[int]] = {}
+        geometry = self.flash.geometry
+        for block in self.flash.blocks:
+            for offset, page in enumerate(block.pages):
+                if (
+                    page.is_valid
+                    and page.oob is not None
+                    and page.oob.kind is PageKind.DATA
+                ):
+                    owners.setdefault(page.oob.lpn, []).append(
+                        geometry.ppn_of(block.index, offset)
+                    )
+        return owners
+
+    def audit_unique_ownership(self) -> None:
+        """Eager-invalidation schemes: one valid copy per logical page."""
+        for lpn, ppns in sorted(self.valid_data_owners().items()):
+            self.check()
+            if len(ppns) > 1:
+                self.fail(
+                    ViolationKind.MULTI_OWNER,
+                    f"lpn {lpn} has {len(ppns)} valid physical copies "
+                    f"(ppns {sorted(ppns)[:8]}); stale copies were never "
+                    "invalidated",
+                    lpn=lpn,
+                )
+
+    def check_data_page(self, lpn: int, ppn: int, source: str) -> bool:
+        """A mapping entry must point at a VALID data page owning ``lpn``."""
+        self.check()
+        pbn, offset = self.flash.geometry.split_ppn(ppn)
+        page = self.flash.blocks[pbn].pages[offset]
+        if not page.is_valid:
+            self.fail(
+                ViolationKind.DANGLING_MAPPING,
+                f"{source} maps lpn {lpn} to ppn {ppn} whose page is "
+                f"{page.state.value}",
+                lpn=lpn, ppn=ppn, pbn=pbn,
+            )
+            return False
+        if page.oob is None or page.oob.kind is not PageKind.DATA:
+            self.fail(
+                ViolationKind.DANGLING_MAPPING,
+                f"{source} maps lpn {lpn} to ppn {ppn} which is not a "
+                "data page",
+                lpn=lpn, ppn=ppn, pbn=pbn,
+            )
+            return False
+        if page.oob.lpn != lpn:
+            self.fail(
+                ViolationKind.OOB_MISMATCH,
+                f"{source} maps lpn {lpn} to ppn {ppn} but the page's OOB "
+                f"claims lpn {page.oob.lpn}",
+                lpn=lpn, ppn=ppn, pbn=pbn,
+            )
+            return False
+        return True
+
+    def check_mapping_page(self, tvpn: int, tppn: int, source: str) -> bool:
+        """A directory entry must point at a VALID mapping page."""
+        self.check()
+        pbn, offset = self.flash.geometry.split_ppn(tppn)
+        page = self.flash.blocks[pbn].pages[offset]
+        if not page.is_valid or page.oob is None \
+                or page.oob.kind is not PageKind.MAPPING:
+            state = page.state.value if page.oob is None \
+                else f"{page.state.value} {page.oob.kind.value}"
+            self.fail(
+                ViolationKind.GMT_INCONSISTENT,
+                f"{source} locates translation page {tvpn} at ppn {tppn} "
+                f"which is a {state} page",
+                lpn=tvpn, ppn=tppn, pbn=pbn,
+            )
+            return False
+        if page.oob.lpn != tvpn:
+            self.fail(
+                ViolationKind.GMT_INCONSISTENT,
+                f"{source} locates translation page {tvpn} at ppn {tppn} "
+                f"whose OOB claims tvpn {page.oob.lpn}",
+                lpn=tvpn, ppn=tppn, pbn=pbn,
+            )
+            return False
+        return True
+
+    def page_content(self, ppn: int):
+        """Raw page payload, bypassing the device (audit is free)."""
+        pbn, offset = self.flash.geometry.split_ppn(ppn)
+        return self.flash.blocks[pbn].pages[offset].data
+
+
+def _audit_lazyftl(a: _Auditor, ftl: LazyFTL) -> None:
+    """GTD/GMT/UMT mutual consistency + the zero-merge invariant."""
+    # 1. The headline claim: LazyFTL never merges.
+    a.check()
+    if ftl.stats.merges_total != 0:
+        a.fail(
+            ViolationKind.LAZY_MERGE,
+            f"LazyFTL recorded {ftl.stats.merges_total} merge operation(s);"
+            " the paper's zero-merge invariant is broken",
+        )
+    staging = set(ftl.uba_blocks) | set(ftl.cba_blocks)
+    maps = ftl.mapping_store
+    entries_per_page = maps.entries_per_page
+    # 2. Every UMT entry points at a live data page inside the UBA/CBA.
+    resolved: Dict[int, int] = {}
+    for lpn, entry in ftl.umt.items():
+        if a.check_data_page(lpn, entry.ppn, "UMT"):
+            pbn, _ = a.flash.geometry.split_ppn(entry.ppn)
+            a.check()
+            if pbn not in staging:
+                a.fail(
+                    ViolationKind.UMT_INCONSISTENT,
+                    f"UMT entry for lpn {lpn} points into block {pbn} "
+                    "which is in neither the update nor the cold area "
+                    "(deferred entries must live in UBA/CBA)",
+                    lpn=lpn, ppn=entry.ppn, pbn=pbn,
+                )
+        resolved[lpn] = entry.ppn
+    # 3. GTD entries locate live GMT pages whose OOB names them back.
+    gmt_pages: Dict[int, int] = {}
+    for tvpn in range(len(maps.gtd)):
+        tppn = maps.gtd.get(tvpn)
+        if tppn is None:
+            continue
+        if a.check_mapping_page(tvpn, tppn, "GTD"):
+            gmt_pages[tvpn] = tppn
+    # 4. Resolve every logical page the way a read would (UMT wins, GMT
+    #    otherwise); committed mappings must be exact.
+    for tvpn, tppn in gmt_pages.items():
+        content = a.page_content(tppn)
+        base = tvpn * entries_per_page
+        for idx, ppn in enumerate(content):
+            lpn = base + idx
+            if ppn is None or lpn >= ftl.logical_pages:
+                continue
+            if lpn in resolved:
+                continue  # GMT value deliberately stale; UMT supersedes
+            if a.check_data_page(lpn, ppn, f"GMT page {tvpn}"):
+                resolved[lpn] = ppn
+    # 5. Ownership: no physical page serves two logical pages.
+    by_ppn: Dict[int, List[int]] = {}
+    for lpn, ppn in resolved.items():
+        by_ppn.setdefault(ppn, []).append(lpn)
+    for ppn, lpns in sorted(by_ppn.items()):
+        a.check()
+        if len(lpns) > 1:
+            a.fail(
+                ViolationKind.MULTI_OWNER,
+                f"physical page {ppn} is the mapped target of "
+                f"{len(lpns)} logical pages ({sorted(lpns)[:8]})",
+                ppn=ppn,
+            )
+    # 6. Laziness is tracked, never leaked: a valid data page that is not
+    #    the resolved copy of its lpn must have a pending UMT entry that
+    #    supersedes it (it will be invalidated at commit time).
+    for lpn, ppns in sorted(a.valid_data_owners().items()):
+        for ppn in ppns:
+            a.check()
+            if resolved.get(lpn) == ppn:
+                continue
+            if ftl.umt.get(lpn) is None:
+                a.fail(
+                    ViolationKind.GMT_INCONSISTENT,
+                    f"valid data page at ppn {ppn} holds lpn {lpn} but is "
+                    "neither the mapped copy nor superseded by a pending "
+                    "UMT entry - deferred invalidation leaked it",
+                    lpn=lpn, ppn=ppn,
+                )
+
+
+def _audit_dftl(a: _Auditor, ftl: DftlFTL) -> None:
+    """CMT/translation-page consistency and GTD agreement."""
+    entries_per_page = ftl.entries_per_page
+    # 1. GTD entries locate live translation pages.
+    tpages: Dict[int, int] = {}
+    for tvpn in range(ftl.num_tvpns):
+        tppn = ftl._gtd[tvpn]
+        if tppn is None:
+            continue
+        if a.check_mapping_page(tvpn, tppn, "GTD"):
+            tpages[tvpn] = tppn
+    # 2. CMT entries: clean ones mirror flash, dirty ones point at live
+    #    data that flash has not caught up with yet.
+    resolved: Dict[int, Optional[int]] = {}
+    for lpn, entry in ftl._cmt.items():
+        tvpn = lpn // entries_per_page
+        if entry.ppn is not None:
+            a.check_data_page(lpn, entry.ppn, "CMT")
+        if not entry.dirty:
+            a.check()
+            tppn = tpages.get(tvpn)
+            flash_ppn = None
+            if tppn is not None:
+                flash_ppn = a.page_content(tppn)[lpn % entries_per_page]
+            if flash_ppn != entry.ppn:
+                a.fail(
+                    ViolationKind.CMT_INCONSISTENT,
+                    f"clean CMT entry for lpn {lpn} holds ppn {entry.ppn} "
+                    f"but translation page {tvpn} holds {flash_ppn}",
+                    lpn=lpn, ppn=entry.ppn,
+                )
+        resolved[lpn] = entry.ppn
+    # 3. Resolve every logical page (CMT wins, translation page otherwise)
+    #    and verify unique ownership.
+    for tvpn, tppn in tpages.items():
+        content = a.page_content(tppn)
+        base = tvpn * entries_per_page
+        for idx, ppn in enumerate(content):
+            lpn = base + idx
+            if ppn is None or lpn >= ftl.logical_pages or lpn in resolved:
+                continue
+            if a.check_data_page(lpn, ppn, f"translation page {tvpn}"):
+                resolved[lpn] = ppn
+    by_ppn: Dict[int, List[int]] = {}
+    for lpn, ppn in resolved.items():
+        if ppn is not None:
+            by_ppn.setdefault(ppn, []).append(lpn)
+    for ppn, lpns in sorted(by_ppn.items()):
+        a.check()
+        if len(lpns) > 1:
+            a.fail(
+                ViolationKind.MULTI_OWNER,
+                f"physical page {ppn} is the mapped target of "
+                f"{len(lpns)} logical pages ({sorted(lpns)[:8]})",
+                ppn=ppn,
+            )
+
+
+def audit_ftl(ftl: FlashTranslationLayer) -> AuditReport:
+    """Audit a quiescent FTL; returns the structured report.
+
+    Generic invariants run for every scheme; LazyFTL and DFTL additionally
+    get their scheme-specific mapping-consistency audits.  Schemes with
+    eager invalidation (everything except LazyFTL) are held to the strict
+    one-valid-copy-per-lpn rule.
+    """
+    auditor = _Auditor(ftl)
+    auditor.audit_block_counters()
+    auditor.audit_oob_reverse_mappings()
+    if isinstance(ftl, LazyFTL):
+        _audit_lazyftl(auditor, ftl)
+    else:
+        auditor.audit_unique_ownership()
+        if isinstance(ftl, DftlFTL):
+            _audit_dftl(auditor, ftl)
+    return auditor.report

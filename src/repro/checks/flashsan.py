@@ -1,0 +1,323 @@
+"""flashsan: a validating NAND device + FTL wrapper (runtime sanitizer).
+
+Two cooperating layers, both opt-in and zero-cost when unused:
+
+* :class:`SanitizedNandFlash` - a drop-in :class:`~repro.flash.chip.NandFlash`
+  that checks **NAND legality** before every raw operation (erase-before-
+  program, in-block sequential order, no reads of never-programmed pages,
+  no ops on retired blocks, no redundant invalidates) and remembers the
+  recent op history so every finding carries a "how did we get here" tail.
+
+* :class:`SanitizedFTL` - a transparent wrapper around any
+  :class:`~repro.ftl.base.FlashTranslationLayer` that maintains a
+  **read-your-writes shadow map** (host writes recorded, host reads
+  cross-checked) and exposes :meth:`SanitizedFTL.audit`, a full-state
+  mapping audit (see :mod:`repro.checks.auditors`).
+
+Violations surface as structured :class:`~repro.checks.report.Violation`
+reports, raised as :class:`~repro.checks.report.SanitizerViolation` in
+``raise`` mode (the default) or collected on ``.violations`` in ``record``
+mode.  The conformance suite runs every FTL scheme under both layers; the
+CLI enables them with ``--sanitize``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from ..flash.chip import NandFlash
+from ..flash.geometry import FlashGeometry
+from ..flash.oob import OOBData
+from ..flash.timing import SLC_TIMING, TimingModel
+from ..ftl.base import FlashTranslationLayer, HostResult
+from .report import (
+    AuditReport,
+    OpHistory,
+    SanitizerViolation,
+    Violation,
+    ViolationKind,
+)
+
+#: Accepted ``on_violation`` policies.
+MODES = ("raise", "record")
+
+
+class SanitizedNandFlash(NandFlash):
+    """A NandFlash that audits every raw operation before performing it.
+
+    The underlying chip already rejects most illegal operations with flash
+    errors; the sanitizer's contribution is (a) catching them *before* any
+    state changes, with a structured report and op history instead of a
+    bare exception, (b) checking contracts the chip deliberately tolerates
+    (redundant invalidates), and (c) carrying the scheme name so findings
+    in a multi-scheme comparison are attributable.
+
+    Args:
+        on_violation: ``"raise"`` (default) aborts at the first finding;
+            ``"record"`` collects findings on :attr:`violations` and lets
+            the run continue (the chip may still raise its own error for
+            the operation afterwards).
+        history: How many recent raw ops each report carries.
+    """
+
+    def __init__(
+        self,
+        geometry: Optional[FlashGeometry] = None,
+        timing: TimingModel = SLC_TIMING,
+        enforce_sequential: bool = True,
+        endurance: Optional[int] = None,
+        initial_bad_blocks: Iterable[int] = (),
+        on_violation: str = "raise",
+        history: int = 16,
+    ):
+        super().__init__(geometry, timing, enforce_sequential, endurance,
+                         initial_bad_blocks)
+        if on_violation not in MODES:
+            raise ValueError(f"on_violation must be one of {MODES}")
+        self.on_violation = on_violation
+        self.history = OpHistory(history)
+        self.violations: list = []
+        #: Scheme name stamped into reports (set by SanitizedFTL).
+        self.scheme: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(
+        self,
+        kind: ViolationKind,
+        message: str,
+        lpn: Optional[int] = None,
+        ppn: Optional[int] = None,
+        pbn: Optional[int] = None,
+    ) -> Violation:
+        """File one finding according to the ``on_violation`` policy."""
+        violation = Violation(
+            kind=kind,
+            message=message,
+            scheme=self.scheme,
+            lpn=lpn,
+            ppn=ppn,
+            pbn=pbn,
+            history=self.history.tail(),
+        )
+        if self.on_violation == "raise":
+            raise SanitizerViolation(violation)
+        self.violations.append(violation)
+        return violation
+
+    # ------------------------------------------------------------------
+    # Audited raw operations
+    # ------------------------------------------------------------------
+    def read_page(self, ppn: int) -> Tuple[Any, Optional[OOBData], float]:
+        pbn, offset = self.geometry.split_ppn(ppn)
+        if self._powered and self.blocks[pbn].pages[offset].is_free:
+            self.report(
+                ViolationKind.READ_UNWRITTEN,
+                f"read of never-programmed/erased page "
+                f"(block {pbn}, offset {offset})",
+                ppn=ppn, pbn=pbn,
+            )
+        result = super().read_page(ppn)
+        self.history.record("read", pbn, offset,
+                            result[1].lpn if result[1] is not None else None)
+        return result
+
+    def probe_page(self, ppn: int) -> Tuple[Optional[OOBData], float]:
+        # Probing erased pages is the *sanctioned* way to classify blocks
+        # during recovery scans, so no free-page check here.
+        pbn, offset = self.geometry.split_ppn(ppn)
+        result = super().probe_page(ppn)
+        self.history.record("probe", pbn, offset,
+                            result[0].lpn if result[0] is not None else None)
+        return result
+
+    def program_page(
+        self, ppn: int, data: Any, oob: Optional[OOBData] = None
+    ) -> float:
+        pbn, offset = self.geometry.split_ppn(ppn)
+        if self._powered:
+            block = self.blocks[pbn]
+            if block.is_bad:
+                self.report(
+                    ViolationKind.BAD_BLOCK_OP,
+                    f"program on retired (bad) block {pbn}",
+                    ppn=ppn, pbn=pbn,
+                )
+            page = block.pages[offset]
+            if not page.is_free:
+                owner = page.oob.lpn if page.oob is not None else None
+                self.report(
+                    ViolationKind.PROGRAM_WITHOUT_ERASE,
+                    f"program of {page.state.value} page without erase "
+                    f"(block {pbn}, offset {offset}, current owner "
+                    f"lpn={owner})",
+                    ppn=ppn, pbn=pbn,
+                    lpn=oob.lpn if oob is not None else None,
+                )
+            elif self.enforce_sequential and offset != block.write_ptr:
+                self.report(
+                    ViolationKind.PROGRAM_OUT_OF_ORDER,
+                    f"non-sequential program in block {pbn}: offset "
+                    f"{offset}, write pointer at {block.write_ptr}",
+                    ppn=ppn, pbn=pbn,
+                )
+        latency = super().program_page(ppn, data, oob)
+        self.history.record("program", pbn, offset,
+                            oob.lpn if oob is not None else None)
+        return latency
+
+    def erase_block(self, pbn: int) -> float:
+        self.geometry.check_block(pbn)
+        if self._powered:
+            block = self.blocks[pbn]
+            if block.is_bad:
+                self.report(
+                    ViolationKind.BAD_BLOCK_OP,
+                    f"erase of retired (bad) block {pbn}",
+                    pbn=pbn,
+                )
+            elif block.valid_count > 0:
+                owners = sorted(
+                    block.pages[o].oob.lpn
+                    for o in block.valid_offsets()
+                    if block.pages[o].oob is not None
+                )[:8]
+                self.report(
+                    ViolationKind.ERASE_WITH_VALID,
+                    f"erase of block {pbn} holding {block.valid_count} "
+                    f"valid page(s) (live lpns include {owners}) - data "
+                    "must be relocated before the erase",
+                    pbn=pbn,
+                )
+        latency = super().erase_block(pbn)
+        self.history.record("erase", pbn)
+        return latency
+
+    def invalidate_page(self, ppn: int) -> None:
+        pbn, offset = self.geometry.split_ppn(ppn)
+        page = self.blocks[pbn].pages[offset]
+        if page.is_free:
+            self.report(
+                ViolationKind.INVALIDATE_UNWRITTEN,
+                f"invalidate of never-programmed/erased page "
+                f"(block {pbn}, offset {offset})",
+                ppn=ppn, pbn=pbn,
+            )
+        elif page.is_invalid:
+            self.report(
+                ViolationKind.DOUBLE_INVALIDATE,
+                f"double invalidate of page (block {pbn}, offset {offset}"
+                f", lpn={page.oob.lpn if page.oob is not None else None})"
+                " - the owner was already retired once",
+                ppn=ppn, pbn=pbn,
+            )
+        super().invalidate_page(ppn)
+        self.history.record("invalidate", pbn, offset,
+                            page.oob.lpn if page.oob is not None else None)
+
+
+class SanitizedFTL:
+    """Transparent FTL wrapper adding the host-level sanitizer checks.
+
+    Delegates every attribute to the wrapped scheme, intercepts the host
+    interface to maintain the read-your-writes shadow map, and exposes
+    :meth:`audit` for the full-state mapping invariants.  Drop-in for the
+    simulator, the conformance suite, and the CLI.
+    """
+
+    def __init__(
+        self,
+        ftl: FlashTranslationLayer,
+        on_violation: str = "raise",
+    ):
+        if on_violation not in MODES:
+            raise ValueError(f"on_violation must be one of {MODES}")
+        self._ftl = ftl
+        self.on_violation = on_violation
+        self._shadow: Dict[int, Any] = {}
+        self.violations: list = []
+        if isinstance(ftl.flash, SanitizedNandFlash):
+            ftl.flash.scheme = ftl.name
+
+    # ------------------------------------------------------------------
+    # Host interface (audited)
+    # ------------------------------------------------------------------
+    def read(self, lpn: int) -> HostResult:
+        result = self._ftl.read(lpn)
+        if lpn in self._shadow and result.data != self._shadow[lpn]:
+            self._report(Violation(
+                kind=ViolationKind.SHADOW_MISMATCH,
+                message=(
+                    f"read of lpn {lpn} returned {result.data!r} but the "
+                    f"shadow map expects {self._shadow[lpn]!r}"
+                ),
+                scheme=self._ftl.name,
+                lpn=lpn,
+                history=self._flash_history(),
+            ))
+        return result
+
+    def write(self, lpn: int, data: Any = None) -> HostResult:
+        result = self._ftl.write(lpn, data)
+        self._shadow[lpn] = data
+        return result
+
+    def trim(self, lpn: int) -> HostResult:
+        result = self._ftl.trim(lpn)
+        self._shadow.pop(lpn, None)
+        return result
+
+    # ------------------------------------------------------------------
+    # Auditing
+    # ------------------------------------------------------------------
+    def audit(self) -> AuditReport:
+        """Run the full-state mapping audit on the wrapped scheme.
+
+        Side-effect free: inspects RAM tables and flash pages directly
+        without issuing (or charging) device operations.  Includes any
+        findings a ``record``-mode flash accumulated.  Raises
+        :class:`SanitizerViolation` on the first finding in ``raise`` mode.
+        """
+        from .auditors import audit_ftl
+
+        report = audit_ftl(self._ftl)
+        flash = self._ftl.flash
+        if isinstance(flash, SanitizedNandFlash) and flash.violations:
+            report.violations.extend(flash.violations)
+        report.violations.extend(self.violations)
+        if self.on_violation == "raise" and report.violations:
+            raise SanitizerViolation(report.violations[0])
+        return report
+
+    def assert_clean(self) -> AuditReport:
+        """Audit and raise on any finding regardless of mode."""
+        report = self.audit()
+        if report.violations:
+            raise SanitizerViolation(report.violations[0])
+        return report
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    @property
+    def wrapped(self) -> FlashTranslationLayer:
+        """The underlying scheme (for tests poking at internals)."""
+        return self._ftl
+
+    def _flash_history(self):
+        flash = self._ftl.flash
+        if isinstance(flash, SanitizedNandFlash):
+            return flash.history.tail()
+        return ()
+
+    def _report(self, violation: Violation) -> None:
+        if self.on_violation == "raise":
+            raise SanitizerViolation(violation)
+        self.violations.append(violation)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._ftl, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SanitizedFTL({self._ftl!r})"

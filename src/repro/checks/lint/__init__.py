@@ -1,0 +1,30 @@
+"""ftlint: project-specific AST lint rules for the LazyFTL reproduction.
+
+Rules (all suppressible per line with ``# ftlint: disable[=FTLxxx]``):
+
+======  ==============================================================
+FTL001  no wall-clock reads in core/ftl/flash/sim (virtual time only)
+FTL002  no unseeded randomness in core/ftl/flash/sim
+FTL003  Block state mutated only inside repro.flash
+FTL004  span_start/span_end + push_cause/pop_cause pair per function
+FTL005  no bare/overbroad except without re-raise
+FTL006  no mutable default arguments
+======  ==============================================================
+
+Run via ``python tools/ftlint.py [paths...]`` or programmatically through
+:func:`lint_source` / :func:`lint_paths`.
+"""
+
+from .base import FileContext, LintViolation, Rule
+from .engine import ALL_RULES, lint_file, lint_paths, lint_source, scope_of
+
+__all__ = [
+    "ALL_RULES",
+    "FileContext",
+    "LintViolation",
+    "Rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "scope_of",
+]

@@ -1,0 +1,67 @@
+"""FTL003: only the flash package may mutate Block internals.
+
+FTL schemes must drive the device exclusively through the
+:class:`~repro.flash.chip.NandFlash` operation surface (program / read /
+erase / invalidate), which is where latency accounting, power-fault
+injection and the sanitizer hooks live.  Reaching around it - assigning
+``block.is_bad`` or calling ``block.force_erase()`` from mapping code -
+bypasses all three, so any such touch outside ``src/repro/flash`` is a
+layering violation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from .base import Rule
+
+#: Block attributes that only flash-layer code may assign.
+_GUARDED_ATTRS = frozenset({
+    "is_bad", "erase_count", "_write_ptr", "_valid_count",
+})
+#: Block mutators that only flash-layer (or test/fault) code may call.
+_GUARDED_CALLS = frozenset({"force_erase", "mark_bad"})
+
+
+class BlockMutationRule(Rule):
+    RULE_ID = "FTL003"
+    MESSAGE = "Block state may only be mutated inside repro.flash"
+
+    @classmethod
+    def applies_to(cls, scope: Optional[str]) -> bool:
+        # Everywhere except the flash package itself (and its tests are
+        # outside src/repro, where scope is None - still patrolled).
+        return scope != "flash"
+
+    def _check_target(self, target: ast.expr) -> None:
+        if (isinstance(target, ast.Attribute)
+                and target.attr in _GUARDED_ATTRS):
+            self.report(
+                target,
+                f"assignment to Block.{target.attr} outside repro.flash; "
+                "go through the NandFlash operation surface",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_target(node.target)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _GUARDED_CALLS:
+            self.report(
+                node,
+                f".{func.attr}() call outside repro.flash; Block "
+                "retirement/erasure belongs to the device layer",
+            )
+        self.generic_visit(node)

@@ -1,0 +1,59 @@
+"""FTL006: no mutable default arguments.
+
+A ``def f(x, seen=[])`` default is created once at def time and shared by
+every call - in a simulator that builds many FTL instances per process
+(sweeps, conformance suites), state bleeding between instances through a
+shared default produces exactly the kind of order-dependent flakiness
+this project's determinism story forbids.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Union
+
+from .base import Rule
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set,
+                     ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CALLS = frozenset({
+    "list", "dict", "set", "bytearray", "defaultdict", "deque",
+    "OrderedDict", "Counter",
+})
+
+_FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_mutable(expr: ast.expr) -> bool:
+    if isinstance(expr, _MUTABLE_LITERALS):
+        return True
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        return name in _MUTABLE_CALLS
+    return False
+
+
+class MutableDefaultRule(Rule):
+    RULE_ID = "FTL006"
+    MESSAGE = "no mutable default arguments"
+
+    def _check_function(self, node: _FuncDef) -> None:
+        args = node.args
+        for default in list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None]:
+            if _is_mutable(default):
+                self.report(
+                    default,
+                    f"mutable default argument in {node.name!r} is shared "
+                    "across calls; default to None and build inside",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)

@@ -1,0 +1,54 @@
+"""FTL005: no bare/overbroad except without re-raise.
+
+``except Exception: pass`` in FTL code can swallow anything - including
+a :class:`~repro.checks.report.SanitizerViolation` or a genuine mapping
+bug - and turn a crash into silent corruption.  Handlers must either
+name the specific flash error they recover from or re-raise.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _contains_raise(body: list) -> bool:
+    stack = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _names_broad(expr) -> bool:
+    if expr is None:
+        return True  # bare except
+    if isinstance(expr, ast.Name):
+        return expr.id in _BROAD
+    if isinstance(expr, ast.Tuple):
+        return any(_names_broad(e) for e in expr.elts)
+    return False
+
+
+class ExceptHygieneRule(Rule):
+    RULE_ID = "FTL005"
+    MESSAGE = "no bare/overbroad except without re-raise"
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if _names_broad(node.type) and not _contains_raise(node.body):
+            what = "bare except" if node.type is None else (
+                "overbroad except")
+            self.report(
+                node,
+                f"{what} swallows everything (including sanitizer "
+                "findings); catch the specific error or re-raise",
+            )
+        self.generic_visit(node)

@@ -1,0 +1,57 @@
+"""FTL002: no unseeded randomness inside the simulation core.
+
+Workload generators, GC victim tie-breaking and trace synthesis must all
+be deterministic given their arguments.  The module-level ``random.*``
+functions share one process-global RNG seeded from the OS, and an argless
+``random.Random()`` seeds from the OS too - either one makes benchmark
+runs unrepeatable.  Seeded instances (``random.Random(42)``) are fine.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule
+
+#: Module-level random functions (all draw from the global, OS-seeded RNG).
+_GLOBAL_RNG_FUNCS = frozenset({
+    "random", "randrange", "randint", "uniform", "choice", "choices",
+    "shuffle", "sample", "gauss", "expovariate", "paretovariate",
+    "betavariate", "gammavariate", "lognormvariate", "vonmisesvariate",
+    "weibullvariate", "triangular", "getrandbits", "randbytes",
+})
+
+
+class UnseededRandomRule(Rule):
+    RULE_ID = "FTL002"
+    MESSAGE = "no unseeded randomness in the simulation core"
+    SCOPES = frozenset({"core", "ftl", "flash", "sim"})
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "random"):
+            if func.attr in _GLOBAL_RNG_FUNCS:
+                self.report(
+                    node,
+                    f"random.{func.attr}() uses the process-global RNG; "
+                    "use a seeded random.Random(seed) instance",
+                )
+            elif func.attr in ("Random", "SystemRandom") and not node.args:
+                seeded = any(kw.arg == "x" for kw in node.keywords)
+                if not seeded:
+                    self.report(
+                        node,
+                        f"random.{func.attr}() without a seed is "
+                        "OS-seeded; pass an explicit seed",
+                    )
+        elif (isinstance(func, ast.Name) and func.id == "Random"
+                and not node.args
+                and not any(kw.arg == "x" for kw in node.keywords)):
+            self.report(
+                node,
+                "Random() without a seed is OS-seeded; pass an explicit "
+                "seed",
+            )
+        self.generic_visit(node)

@@ -1,0 +1,68 @@
+"""FTL004: tracer spans and cause-stack pushes must balance per function.
+
+The tracer's cause stack (see repro.obs.tracer) attributes every flash
+operation to the innermost open activity.  A ``span_start`` whose
+``span_end`` lives in a *different* function (or a ``push_cause`` with no
+``pop_cause``) leaks the cause onto every subsequent operation - time
+attribution silently drifts and no test catches it.  Requiring the pair
+to close in the same function keeps span lifetimes lexically obvious;
+where a span genuinely crosses functions, suppress with
+``# ftlint: disable=FTL004`` on the opening call.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Union
+
+from .base import Rule
+
+_OPENERS = {"span_start": "span_end", "push_cause": "pop_cause"}
+
+_FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _count_calls(body: list, name: str) -> int:
+    """Count ``*.name(...)`` / ``name(...)`` calls, not descending into
+    nested function definitions (they balance independently)."""
+    count = 0
+    stack = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute) and func.attr == name) or (
+                    isinstance(func, ast.Name) and func.id == name):
+                count += 1
+        stack.extend(ast.iter_child_nodes(node))
+    return count
+
+
+class SpanBalanceRule(Rule):
+    RULE_ID = "FTL004"
+    MESSAGE = "span_start/span_end and push_cause/pop_cause pair per function"
+    # The tracer itself defines these methods, so repro.obs is exempt.
+    SCOPES = frozenset({"core", "ftl", "flash", "sim"})
+
+    def _check_function(self, node: _FuncDef) -> None:
+        for opener, closer in _OPENERS.items():
+            opens = _count_calls(node.body, opener)
+            closes = _count_calls(node.body, closer)
+            if opens != closes:
+                self.report(
+                    node,
+                    f"function {node.name!r} has {opens} {opener}() but "
+                    f"{closes} {closer}() - the cause stack leaks past "
+                    "this function",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)

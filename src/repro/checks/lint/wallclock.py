@@ -1,0 +1,58 @@
+"""FTL001: no wall-clock reads inside the simulation core.
+
+The simulator is a *virtual-time* machine: every latency comes from the
+:class:`~repro.flash.timing.TimingModel`, so results are exactly
+reproducible.  A single ``time.time()`` (or ``datetime.now()``) in the
+core/ftl/flash/sim packages silently couples results to the host clock -
+the bug class this rule exists to make impossible.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule
+
+#: time-module functions that read the host clock.
+_TIME_FUNCS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "process_time", "process_time_ns",
+})
+#: datetime constructors that read the host clock.
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+
+class WallClockRule(Rule):
+    RULE_ID = "FTL001"
+    MESSAGE = "no wall-clock reads in the simulation core (virtual time only)"
+    SCOPES = frozenset({"core", "ftl", "flash", "sim"})
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if isinstance(base, ast.Name):
+                if base.id == "time" and func.attr in _TIME_FUNCS:
+                    self.report(
+                        node,
+                        f"wall-clock read time.{func.attr}() in simulation "
+                        "code; derive timing from the TimingModel",
+                    )
+                elif (base.id in ("datetime", "date")
+                        and func.attr in _DATETIME_FUNCS):
+                    self.report(
+                        node,
+                        f"wall-clock read {base.id}.{func.attr}() in "
+                        "simulation code; virtual time only",
+                    )
+            elif (isinstance(base, ast.Attribute)
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id == "datetime"
+                    and func.attr in _DATETIME_FUNCS):
+                # datetime.datetime.now() / datetime.date.today()
+                self.report(
+                    node,
+                    f"wall-clock read datetime.{base.attr}.{func.attr}() "
+                    "in simulation code; virtual time only",
+                )
+        self.generic_visit(node)

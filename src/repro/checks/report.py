@@ -1,0 +1,159 @@
+"""Structured sanitizer reports: violation kinds, records, and op history.
+
+``flashsan`` never prints free-form text into an assertion: every detected
+contract breach becomes one :class:`Violation` carrying the violation kind,
+the addresses involved, and the tail of the raw-operation history leading up
+to it - the same shape ASan reports take (error kind + faulting address +
+recent stack).  Tests assert on the structured fields, and interactive
+debugging gets the history for free in the exception message.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Deque, Iterable, List, Optional, Tuple
+
+
+class ViolationKind(str, Enum):
+    """Taxonomy of sanitizer findings (see docs/INTERNALS.md)."""
+
+    # --- NAND legality (device level) ---------------------------------
+    PROGRAM_WITHOUT_ERASE = "program-without-erase"
+    PROGRAM_OUT_OF_ORDER = "program-out-of-order"
+    READ_UNWRITTEN = "read-unwritten-page"
+    BAD_BLOCK_OP = "bad-block-op"
+    ERASE_WITH_VALID = "erase-with-valid-pages"
+    DOUBLE_INVALIDATE = "double-invalidate"
+    INVALIDATE_UNWRITTEN = "invalidate-unwritten-page"
+    # --- Mapping invariants (FTL level) -------------------------------
+    SHADOW_MISMATCH = "read-your-writes-mismatch"
+    MULTI_OWNER = "multi-owner-physical-page"
+    DANGLING_MAPPING = "dangling-mapping"
+    OOB_MISMATCH = "oob-reverse-mapping-mismatch"
+    COUNTER_DRIFT = "block-counter-drift"
+    # --- Scheme-specific invariants -----------------------------------
+    LAZY_MERGE = "lazyftl-merge-performed"
+    UMT_INCONSISTENT = "umt-inconsistent"
+    GMT_INCONSISTENT = "gmt-inconsistent"
+    CMT_INCONSISTENT = "cmt-inconsistent"
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One raw flash operation, as remembered by the sanitizer's ring."""
+
+    seq: int                       #: position in the global op stream
+    op: str                        #: "read" / "program" / "erase" / ...
+    pbn: int                       #: physical block touched
+    offset: Optional[int] = None   #: in-block page offset (None for erase)
+    lpn: Optional[int] = None      #: logical page, when the op carried OOB
+
+    def __str__(self) -> str:
+        where = f"block {self.pbn}"
+        if self.offset is not None:
+            where += f".{self.offset}"
+        lpn = f" lpn={self.lpn}" if self.lpn is not None else ""
+        return f"#{self.seq} {self.op} {where}{lpn}"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One sanitizer finding.
+
+    Attributes:
+        kind: What invariant was broken.
+        message: Human-readable one-liner with the specifics.
+        scheme: FTL scheme name, when known.
+        lpn / ppn / pbn: Addresses involved, when meaningful.
+        history: Tail of the raw-op history at detection time (oldest
+            first), for the "how did we get here" part of the report.
+    """
+
+    kind: ViolationKind
+    message: str
+    scheme: Optional[str] = None
+    lpn: Optional[int] = None
+    ppn: Optional[int] = None
+    pbn: Optional[int] = None
+    history: Tuple[OpRecord, ...] = ()
+
+    def render(self) -> str:
+        """Multi-line report: headline plus the op-history tail."""
+        head = f"[{self.kind.value}] {self.message}"
+        if self.scheme:
+            head = f"{self.scheme}: {head}"
+        if not self.history:
+            return head
+        tail = "\n".join(f"    {op}" for op in self.history)
+        return f"{head}\n  last {len(self.history)} flash ops:\n{tail}"
+
+
+class SanitizerViolation(Exception):
+    """Raised (in ``raise`` mode) the moment a violation is detected.
+
+    Deliberately *not* a :class:`~repro.flash.errors.FlashError`: FTL code
+    legitimately catches specific flash errors (wear-out handling) and must
+    never be able to swallow a sanitizer finding by accident.
+    """
+
+    def __init__(self, violation: Violation):
+        self.violation = violation
+        super().__init__(violation.render())
+
+
+class OpHistory:
+    """Bounded ring of recent raw operations (the report's "stack tail")."""
+
+    def __init__(self, capacity: int = 16):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._ring: Deque[OpRecord] = deque(maxlen=capacity)
+        self._seq = 0
+
+    def record(
+        self,
+        op: str,
+        pbn: int,
+        offset: Optional[int] = None,
+        lpn: Optional[int] = None,
+    ) -> None:
+        self._ring.append(OpRecord(self._seq, op, pbn, offset, lpn))
+        self._seq += 1
+
+    @property
+    def total_ops(self) -> int:
+        """Total operations ever recorded (not just the retained tail)."""
+        return self._seq
+
+    def tail(self) -> Tuple[OpRecord, ...]:
+        return tuple(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self) -> Iterable[OpRecord]:
+        return iter(self._ring)
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one full-state audit (see :mod:`repro.checks.auditors`)."""
+
+    scheme: str
+    violations: List[Violation] = field(default_factory=list)
+    checks_run: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        if self.clean:
+            return f"{self.scheme}: audit clean ({self.checks_run} checks)"
+        body = "\n".join(v.render() for v in self.violations)
+        return (
+            f"{self.scheme}: {len(self.violations)} violation(s) "
+            f"in {self.checks_run} checks\n{body}"
+        )

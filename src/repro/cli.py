@@ -30,6 +30,7 @@ from .analysis import (
     optimality_gap,
     read_trace,
 )
+from .checks import SanitizerViolation
 from .obs import JsonlSink, Tracer
 from .sim import HEADLINE_DEVICE, SCHEMES, DeviceSpec, compare_schemes
 from .sim.report import format_table
@@ -113,7 +114,11 @@ def cmd_compare(args: argparse.Namespace) -> int:
             device=device,
             precondition="steady" if args.steady else True,
             tracer=tracer,
+            sanitize=args.sanitize,
         )
+    except SanitizerViolation as exc:
+        print(exc.violation.render(), file=sys.stderr)
+        return 3
     finally:
         if tracer is not None:
             tracer.close()
@@ -217,6 +222,10 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--metrics", action="store_true",
                          help="print the tracing counters/histograms "
                               "after the comparison table")
+    compare.add_argument("--sanitize", action="store_true",
+                         help="run under the flashsan NAND-semantics "
+                              "sanitizer (validates every raw op and "
+                              "audits mapping state after the run)")
     compare.set_defaults(func=cmd_compare)
 
     inspect = sub.add_parser(

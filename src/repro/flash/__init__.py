@@ -23,6 +23,7 @@ from .errors import (
     PowerLossError,
     ProgramError,
     ReadError,
+    RedundantInvalidateWarning,
 )
 from .fault import PowerFault
 from .geometry import MAP_ENTRY_BYTES, FlashGeometry, geometry_for_capacity
@@ -42,6 +43,7 @@ __all__ = [
     "PowerLossError",
     "ProgramError",
     "ReadError",
+    "RedundantInvalidateWarning",
     "PowerFault",
     "MAP_ENTRY_BYTES",
     "FlashGeometry",

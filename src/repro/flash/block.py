@@ -127,16 +127,24 @@ class Block:
             self._write_ptr = offset + 1
         self._valid_count += 1
 
-    def invalidate(self, offset: int) -> None:
-        """Mark a VALID page stale.  Idempotent on already-invalid pages."""
+    def invalidate(self, offset: int) -> bool:
+        """Mark a VALID page stale; returns False when it already was.
+
+        A False return means the caller's bookkeeping tried to retire the
+        same physical copy twice - the chip surfaces that explicitly (see
+        :meth:`repro.flash.chip.NandFlash.invalidate_page`) instead of
+        letting it pass as a silent no-op.
+        """
         page = self.pages[offset]
         if page.is_free:
             raise ProgramError(
                 f"invalidate of free page (block {self.index}, offset {offset})"
             )
-        if page.is_valid:
-            page.invalidate()
-            self._valid_count -= 1
+        if not page.is_valid:
+            return False
+        page.invalidate()
+        self._valid_count -= 1
+        return True
 
     def erase(self) -> None:
         """Erase the whole block, resetting every page to FREE."""

@@ -11,11 +11,17 @@ service time of the host request they are working on.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Iterable, List, Optional, Tuple
 
 from ..obs.events import EventType
 from .block import Block
-from .errors import BadBlockError, DeviceOffError, PowerLossError
+from .errors import (
+    BadBlockError,
+    DeviceOffError,
+    PowerLossError,
+    RedundantInvalidateWarning,
+)
 from .fault import PowerFault
 from .geometry import FlashGeometry
 from .oob import OOBData
@@ -194,9 +200,25 @@ class NandFlash:
     # Simulator-level bookkeeping (free: models FTL RAM metadata updates)
     # ------------------------------------------------------------------
     def invalidate_page(self, ppn: int) -> None:
-        """Mark a physical page stale.  Costs no simulated time."""
+        """Mark a physical page stale.  Costs no simulated time.
+
+        Invalidating a never-programmed page raises
+        :class:`~repro.flash.errors.ProgramError`; invalidating an
+        already-stale page is counted (``stats.redundant_invalidates``)
+        and reported via :class:`RedundantInvalidateWarning` - the FTL's
+        bookkeeping retired the same copy twice.  The flashsan sanitizer
+        turns both into structured violations.
+        """
         block, offset = self.geometry.split_ppn(ppn)
-        self.blocks[block].invalidate(offset)
+        if not self.blocks[block].invalidate(offset):
+            self.stats.redundant_invalidates += 1
+            warnings.warn(
+                RedundantInvalidateWarning(
+                    f"page (block {block}, offset {offset}) invalidated "
+                    "twice - double supersession in FTL bookkeeping"
+                ),
+                stacklevel=2,
+            )
 
     def page_state(self, ppn: int):
         """Return the :class:`~repro.flash.page.PageState` of a page."""

@@ -54,6 +54,17 @@ class DeviceOffError(FlashError):
     """An operation was attempted while the device is powered off."""
 
 
+class RedundantInvalidateWarning(UserWarning):
+    """An already-stale page was invalidated again.
+
+    Double invalidation is harmless to the device model (the page stays
+    INVALID) but means the FTL's mapping bookkeeping retired the same
+    physical copy twice - usually a sign two code paths believe they own
+    the supersession.  The chip counts and warns; the flashsan sanitizer
+    (:mod:`repro.checks`) upgrades it to a structured violation.
+    """
+
+
 class BadBlockError(FlashError):
     """A block wore out (erase failure) or was already marked bad.
 

@@ -21,6 +21,9 @@ class FlashStats:
     read_us: float = 0.0
     program_us: float = 0.0
     erase_us: float = 0.0
+    #: Invalidations of already-stale pages (double supersession in FTL
+    #: bookkeeping); see NandFlash.invalidate_page.  Should stay 0.
+    redundant_invalidates: int = 0
 
     @property
     def total_ops(self) -> int:
@@ -39,6 +42,7 @@ class FlashStats:
             read_us=self.read_us,
             program_us=self.program_us,
             erase_us=self.erase_us,
+            redundant_invalidates=self.redundant_invalidates,
         )
 
     def diff(self, earlier: "FlashStats") -> "FlashStats":
@@ -50,6 +54,8 @@ class FlashStats:
             read_us=self.read_us - earlier.read_us,
             program_us=self.program_us - earlier.program_us,
             erase_us=self.erase_us - earlier.erase_us,
+            redundant_invalidates=self.redundant_invalidates
+            - earlier.redundant_invalidates,
         )
 
     def as_dict(self) -> Dict[str, float]:
@@ -61,6 +67,7 @@ class FlashStats:
             "read_us": self.read_us,
             "program_us": self.program_us,
             "erase_us": self.erase_us,
+            "redundant_invalidates": self.redundant_invalidates,
         }
 
 

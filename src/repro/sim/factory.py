@@ -70,6 +70,7 @@ def standard_setup(
     page_size: int = 2048,
     logical_fraction: float = 0.85,
     timing: TimingModel = SLC_TIMING,
+    sanitize: bool = False,
     **options: Any,
 ):
     """Build a (flash, ftl, logical_pages) triple with shared defaults.
@@ -78,6 +79,12 @@ def standard_setup(
     capacity (the rest is overprovisioning shared by all schemes); the
     LazyFTL anchor blocks are excluded for everyone so the usable space is
     identical across schemes.
+
+    With ``sanitize=True`` the device is a validating
+    :class:`~repro.checks.SanitizedNandFlash` and the returned FTL is
+    wrapped in :class:`~repro.checks.SanitizedFTL` (read-your-writes
+    shadow map + :meth:`audit`); any NAND-contract breach raises a
+    structured :class:`~repro.checks.SanitizerViolation`.
     """
     if not 0.0 < logical_fraction < 1.0:
         raise ValueError("logical_fraction must be in (0, 1)")
@@ -86,9 +93,16 @@ def standard_setup(
         pages_per_block=pages_per_block,
         page_size=page_size,
     )
-    flash = NandFlash(geometry, timing=timing)
+    if sanitize:
+        from ..checks import SanitizedFTL, SanitizedNandFlash
+
+        flash = SanitizedNandFlash(geometry, timing=timing)
+    else:
+        flash = NandFlash(geometry, timing=timing)
     logical_pages = int(geometry.total_pages * logical_fraction)
     ftl = build_ftl(scheme, flash, logical_pages, **options)
+    if sanitize:
+        ftl = SanitizedFTL(ftl)
     return flash, ftl, logical_pages
 
 

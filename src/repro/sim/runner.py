@@ -91,6 +91,7 @@ def run_scheme(
     warmup: Optional[Trace] = None,
     precondition: bool = True,
     tracer: Optional[Tracer] = None,
+    sanitize: bool = False,
     **options: Any,
 ) -> SimulationResult:
     """Run one scheme over one trace on a fresh device.
@@ -103,6 +104,10 @@ def run_scheme(
             Ignored when an explicit ``warmup`` trace is given.
         tracer: Optional event tracer (see :mod:`repro.obs`); attached to
             the scheme for the measured run (warm-up is not traced).
+        sanitize: Run the whole replay under the flashsan sanitizer (see
+            :mod:`repro.checks`): every raw op is validated as it happens
+            and a full mapping audit runs after the measured trace; the
+            first violation raises :class:`repro.checks.SanitizerViolation`.
     """
     device = device if device is not None else DeviceSpec()
     opts = dict(DEFAULT_OPTIONS.get(scheme, {}))
@@ -116,6 +121,7 @@ def run_scheme(
         page_size=device.page_size,
         logical_fraction=device.logical_fraction,
         timing=device.timing,
+        sanitize=sanitize,
         **opts,
     )
     footprint = min(trace.max_lpn + 1, logical_pages)
@@ -134,7 +140,11 @@ def run_scheme(
             )
             warmup = merge_traces([warmup, overwrites], name="warmup")
     simulator = Simulator(ftl, tracer=tracer)
-    return simulator.run(trace, warmup=warmup)
+    result = simulator.run(trace, warmup=warmup)
+    if sanitize:
+        # Post-run full-state audit: mapping invariants must hold at rest.
+        ftl.assert_clean()
+    return result
 
 
 def compare_schemes(
@@ -144,18 +154,21 @@ def compare_schemes(
     precondition: bool = True,
     options: Optional[Dict[str, Dict[str, Any]]] = None,
     tracer: Optional[Tracer] = None,
+    sanitize: bool = False,
 ) -> Dict[str, SimulationResult]:
     """Run several schemes over the same trace; returns scheme -> result.
 
     With a ``tracer``, all schemes share it (events carry the scheme
-    name), so one JSONL file holds the whole comparison.
+    name), so one JSONL file holds the whole comparison.  With
+    ``sanitize``, every scheme runs under flashsan (see
+    :func:`run_scheme`).
     """
     results: Dict[str, SimulationResult] = {}
     for scheme in schemes:
         extra = (options or {}).get(scheme, {})
         results[scheme] = run_scheme(
             scheme, trace, device=device, precondition=precondition,
-            tracer=tracer, **extra
+            tracer=tracer, sanitize=sanitize, **extra
         )
     return results
 

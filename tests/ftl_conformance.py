@@ -15,17 +15,32 @@ from repro.flash import FlashGeometry, NandFlash, UNIT_TIMING
 
 
 class FTLConformance:
-    """Mixin of behavioural tests; subclasses define ``make_ftl``."""
+    """Mixin of behavioural tests; subclasses define ``make_ftl``.
+
+    Set ``SANITIZE = True`` in a subclass to run the whole suite under the
+    flashsan sanitizer (see repro.checks): the device validates every raw
+    operation, the FTL is wrapped in the read-your-writes shadow checker,
+    and any contract breach fails the test with a structured report.
+    """
 
     #: Device used by the conformance workloads (small so GC churns).
     GEOMETRY = FlashGeometry(num_blocks=48, pages_per_block=16, page_size=2048)
     #: Logical space: ~62 % of physical, plenty of GC slack.
     LOGICAL_PAGES = 480
+    #: Run every conformance test under the flashsan sanitizer.
+    SANITIZE = False
 
     def make_ftl(self, flash):  # pragma: no cover - overridden
         raise NotImplementedError
 
     def new_ftl(self):
+        if self.SANITIZE:
+            from repro.checks import SanitizedFTL, SanitizedNandFlash
+
+            flash = SanitizedNandFlash(self.GEOMETRY, timing=UNIT_TIMING)
+            ftl = self.make_ftl(flash)
+            flash.enforce_sequential = not ftl.requires_random_program
+            return SanitizedFTL(ftl)
         flash = NandFlash(self.GEOMETRY, timing=UNIT_TIMING)
         ftl = self.make_ftl(flash)
         flash.enforce_sequential = not ftl.requires_random_program

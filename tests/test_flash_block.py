@@ -104,7 +104,7 @@ class TestErase:
     def test_force_erase_ignores_valid_pages(self):
         b = make_block()
         b.program(0, "a", None)
-        b.force_erase()
+        b.force_erase()  # ftlint: disable=FTL003 - testing the device layer
         assert b.is_empty
         assert b.erase_count == 1
 

@@ -112,4 +112,5 @@ class TestStatsSnapshots:
         assert set(d) == {
             "page_reads", "page_programs", "block_erases",
             "read_us", "program_us", "erase_us",
+            "redundant_invalidates",
         }

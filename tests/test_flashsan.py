@@ -1,0 +1,404 @@
+"""flashsan unit tests: every violation class seeded deliberately.
+
+Each test drives the sanitizer into exactly one kind of contract breach
+and asserts on the *structured* report (kind, addresses, history), the
+property that separates flashsan from a pile of asserts.  A buggy FTL
+fixture at the end shows the end-to-end behaviour the sanitizer exists
+for: an FTL that skips an erase is caught at the faulting operation with
+the op-history tail attached.
+"""
+
+import random
+import warnings
+
+import pytest
+
+from repro.checks import (
+    SanitizedFTL,
+    SanitizedNandFlash,
+    SanitizerViolation,
+    ViolationKind,
+    audit_ftl,
+)
+from repro.core import LazyConfig, LazyFTL
+from repro.flash import (
+    FlashGeometry,
+    NandFlash,
+    OOBData,
+    ProgramError,
+    RedundantInvalidateWarning,
+    UNIT_TIMING,
+)
+from repro.ftl import DftlFTL, PageFTL
+from repro.ftl.base import HostResult
+
+
+GEOMETRY = FlashGeometry(num_blocks=8, pages_per_block=4, page_size=2048)
+
+
+def make_flash(**kwargs):
+    return SanitizedNandFlash(GEOMETRY, timing=UNIT_TIMING, **kwargs)
+
+
+def catch(flash, fn):
+    """Run ``fn``, return the Violation the sanitizer raised."""
+    with pytest.raises(SanitizerViolation) as exc_info:
+        fn()
+    return exc_info.value.violation
+
+
+class TestNandLegality:
+    def test_program_without_erase(self):
+        flash = make_flash()
+        flash.program_page(0, "a", OOBData(lpn=3, seq=0))
+        flash.invalidate_page(0)
+        v = catch(flash, lambda: flash.program_page(0, "b"))
+        assert v.kind is ViolationKind.PROGRAM_WITHOUT_ERASE
+        assert v.pbn == 0
+        assert v.ppn == 0
+        assert "lpn=3" in v.message  # names the current owner
+
+    def test_program_over_valid_page(self):
+        flash = make_flash()
+        flash.program_page(0, "a")
+        v = catch(flash, lambda: flash.program_page(0, "b",
+                                                    OOBData(lpn=7, seq=1)))
+        assert v.kind is ViolationKind.PROGRAM_WITHOUT_ERASE
+        assert v.lpn == 7  # the incoming write's lpn
+
+    def test_program_out_of_order(self):
+        flash = make_flash()
+        v = catch(flash, lambda: flash.program_page(2, "x"))
+        assert v.kind is ViolationKind.PROGRAM_OUT_OF_ORDER
+        assert "write pointer at 0" in v.message
+
+    def test_out_of_order_allowed_when_not_enforced(self):
+        flash = make_flash()
+        flash.enforce_sequential = False
+        flash.program_page(2, "x")  # legal on this device
+
+    def test_read_unwritten(self):
+        flash = make_flash()
+        v = catch(flash, lambda: flash.read_page(5))
+        assert v.kind is ViolationKind.READ_UNWRITTEN
+        assert v.pbn == 1 and v.ppn == 5
+
+    def test_probe_of_unwritten_is_sanctioned(self):
+        flash = make_flash()
+        oob, _ = flash.probe_page(5)  # recovery-style scan: no violation
+        assert oob is None
+
+    def test_bad_block_program_and_erase(self):
+        flash = make_flash()
+        flash.blocks[1].mark_bad()  # ftlint: disable=FTL003 - seeding the fault
+        v = catch(flash, lambda: flash.program_page(GEOMETRY.ppn_of(1, 0), "x"))
+        assert v.kind is ViolationKind.BAD_BLOCK_OP
+        v = catch(flash, lambda: flash.erase_block(1))
+        assert v.kind is ViolationKind.BAD_BLOCK_OP
+
+    def test_erase_with_valid_pages(self):
+        flash = make_flash()
+        flash.program_page(0, "a", OOBData(lpn=11, seq=0))
+        v = catch(flash, lambda: flash.erase_block(0))
+        assert v.kind is ViolationKind.ERASE_WITH_VALID
+        assert "11" in v.message  # live lpn listed
+
+    def test_double_invalidate(self):
+        flash = make_flash()
+        flash.program_page(0, "a")
+        flash.invalidate_page(0)
+        v = catch(flash, lambda: flash.invalidate_page(0))
+        assert v.kind is ViolationKind.DOUBLE_INVALIDATE
+
+    def test_invalidate_unwritten(self):
+        flash = make_flash()
+        v = catch(flash, lambda: flash.invalidate_page(0))
+        assert v.kind is ViolationKind.INVALIDATE_UNWRITTEN
+
+
+class TestReportStructure:
+    def test_history_tail_attached(self):
+        flash = make_flash(history=4)
+        for ppn, value in enumerate("abcd"):
+            flash.program_page(ppn, value, OOBData(lpn=ppn, seq=ppn))
+        v = catch(flash, lambda: flash.read_page(7))
+        assert len(v.history) == 4  # ring capacity
+        assert [op.op for op in v.history] == ["program"] * 4
+        assert v.history[-1].lpn == 3
+        rendered = v.render()
+        assert "read-unwritten-page" in rendered
+        assert "last 4 flash ops" in rendered
+
+    def test_record_mode_collects_without_raising(self):
+        flash = make_flash(on_violation="record")
+        with pytest.raises(ProgramError):
+            # The sanitizer records; the chip still rejects the op.
+            flash.program_page(2, "x")
+        assert [v.kind for v in flash.violations] == [
+            ViolationKind.PROGRAM_OUT_OF_ORDER
+        ]
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            make_flash(on_violation="explode")
+        with pytest.raises(ValueError):
+            SanitizedFTL(PageFTL(NandFlash(GEOMETRY), logical_pages=16),
+                         on_violation="explode")
+
+    def test_sanitizer_violation_is_not_a_flash_error(self):
+        from repro.flash import FlashError
+
+        flash = make_flash()
+        try:
+            flash.read_page(0)
+        except FlashError:  # pragma: no cover - the bug this guards against
+            pytest.fail("SanitizerViolation must not be catchable as "
+                        "FlashError")
+        except SanitizerViolation:
+            pass
+
+
+class TestRedundantInvalidate:
+    """Satellite: the plain chip makes double-invalidates explicit too."""
+
+    def test_plain_chip_warns_and_counts(self):
+        chip = NandFlash(GEOMETRY, timing=UNIT_TIMING)
+        chip.program_page(0, "a")
+        chip.invalidate_page(0)
+        with pytest.warns(RedundantInvalidateWarning):
+            chip.invalidate_page(0)
+        assert chip.stats.redundant_invalidates == 1
+
+    def test_invalidate_of_unwritten_raises_on_plain_chip(self):
+        chip = NandFlash(GEOMETRY, timing=UNIT_TIMING)
+        with pytest.raises(ProgramError):
+            chip.invalidate_page(0)
+
+    def test_single_invalidate_stays_silent(self):
+        chip = NandFlash(GEOMETRY, timing=UNIT_TIMING)
+        chip.program_page(0, "a")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            chip.invalidate_page(0)
+        assert chip.stats.redundant_invalidates == 0
+
+
+class TestShadowMap:
+    def test_read_your_writes_verified(self):
+        flash = make_flash()
+        ftl = SanitizedFTL(PageFTL(flash, logical_pages=16))
+        ftl.write(3, "payload")
+        assert ftl.read(3).data == "payload"
+
+    def test_shadow_mismatch_detected(self):
+        class LyingFTL(PageFTL):
+            """Returns stale data for every read: a broken mapping."""
+
+            def read(self, lpn):
+                real = super().read(lpn)
+                return HostResult(real.latency_us, data="stale!")
+
+        flash = make_flash()
+        ftl = SanitizedFTL(LyingFTL(flash, logical_pages=16))
+        ftl.write(3, "payload")
+        v = catch(ftl, lambda: ftl.read(3))
+        assert v.kind is ViolationKind.SHADOW_MISMATCH
+        assert v.lpn == 3
+        assert "stale!" in v.message
+
+    def test_trim_clears_shadow(self):
+        flash = make_flash()
+        ftl = SanitizedFTL(PageFTL(flash, logical_pages=16))
+        ftl.write(3, "payload")
+        ftl.trim(3)
+        ftl.read(3)  # whatever comes back, no shadow entry to contradict
+
+    def test_delegation_preserves_surface(self):
+        flash = make_flash()
+        ftl = SanitizedFTL(PageFTL(flash, logical_pages=16))
+        assert ftl.flash is flash
+        assert ftl.logical_pages == 16
+        assert ftl.ram_bytes() > 0
+        assert ftl.wrapped.name == "ideal"
+
+
+class TestAuditors:
+    """Seed each mapping-invariant breach and audit it out."""
+
+    def small_page_ftl(self):
+        flash = NandFlash(GEOMETRY, timing=UNIT_TIMING)
+        ftl = PageFTL(flash, logical_pages=16)
+        return flash, ftl
+
+    def test_clean_audit(self):
+        flash, ftl = self.small_page_ftl()
+        for lpn in range(8):
+            ftl.write(lpn, lpn)
+        report = audit_ftl(ftl)
+        assert report.clean
+        assert report.checks_run > 0
+        assert "audit clean" in report.render()
+
+    def test_multi_owner(self):
+        flash, ftl = self.small_page_ftl()
+        ftl.write(1, "real")
+        # A second VALID copy of lpn 1 appears behind the FTL's back.
+        spare = flash.geometry.ppn_of(7, 0)
+        flash.program_page(spare, "ghost", OOBData(lpn=1, seq=99))
+        report = audit_ftl(ftl)
+        kinds = {v.kind for v in report.violations}
+        assert ViolationKind.MULTI_OWNER in kinds
+        [v] = [v for v in report.violations
+               if v.kind is ViolationKind.MULTI_OWNER]
+        assert v.lpn == 1
+
+    def test_counter_drift(self):
+        flash, ftl = self.small_page_ftl()
+        ftl.write(0, "x")
+        block = next(b for b in flash.blocks if b.valid_count)
+        block._valid_count += 1  # ftlint: disable=FTL003 - seeding the fault
+        report = audit_ftl(ftl)
+        assert any(v.kind is ViolationKind.COUNTER_DRIFT
+                   and v.pbn == block.index
+                   for v in report.violations)
+
+    def test_oob_out_of_range(self):
+        flash, ftl = self.small_page_ftl()
+        spare = flash.geometry.ppn_of(7, 0)
+        flash.program_page(spare, "junk", OOBData(lpn=9999, seq=1))
+        report = audit_ftl(ftl)
+        assert any(v.kind is ViolationKind.OOB_MISMATCH
+                   for v in report.violations)
+
+
+class TestDftlAudit:
+    def make_dftl(self):
+        flash = NandFlash(
+            FlashGeometry(num_blocks=24, pages_per_block=8, page_size=64),
+            timing=UNIT_TIMING,
+        )
+        ftl = DftlFTL(flash, logical_pages=96, cmt_entries=8)
+        rng = random.Random(5)
+        for i in range(300):
+            ftl.write(rng.randrange(96), i)
+        return flash, ftl
+
+    def test_clean_after_pressure(self):
+        _, ftl = self.make_dftl()
+        assert audit_ftl(ftl).clean
+
+    def test_dangling_cmt_entry(self):
+        flash, ftl = self.make_dftl()
+        lpn, entry = next(iter(ftl._cmt.items()))
+        free_ppn = next(
+            flash.geometry.ppn_of(b.index, b.write_ptr)
+            for b in flash.blocks if b.free_count
+        )
+        entry.ppn = free_ppn  # points at a FREE page now
+        report = audit_ftl(ftl)
+        assert any(v.kind is ViolationKind.DANGLING_MAPPING
+                   and v.lpn == lpn for v in report.violations)
+
+    def test_clean_entry_translation_page_disagreement(self):
+        flash, ftl = self.make_dftl()
+        clean = [(lpn, e) for lpn, e in ftl._cmt.items()
+                 if not e.dirty and e.ppn is not None]
+        if not clean:  # evict everything clean: force one
+            pytest.skip("no clean CMT entry under this workload")
+        lpn, entry = clean[0]
+        other = next(l for l, e in ftl._cmt.items() if l != lpn
+                     and e.ppn is not None)
+        entry.ppn = ftl._cmt[other].ppn  # valid page, wrong entry
+        report = audit_ftl(ftl)
+        assert any(v.kind is ViolationKind.CMT_INCONSISTENT
+                   for v in report.violations)
+
+
+class TestLazyFTLAudit:
+    def make_lazy(self):
+        flash = NandFlash(
+            FlashGeometry(num_blocks=40, pages_per_block=8, page_size=64),
+            timing=UNIT_TIMING,
+        )
+        config = LazyConfig(uba_blocks=4, cba_blocks=2, gc_free_threshold=3)
+        ftl = LazyFTL(flash, logical_pages=96, config=config)
+        rng = random.Random(6)
+        for i in range(400):
+            ftl.write(rng.randrange(96), i)
+        return flash, ftl
+
+    def test_clean_after_pressure(self):
+        _, ftl = self.make_lazy()
+        assert audit_ftl(ftl).clean
+
+    def test_merge_breaks_zero_merge_invariant(self):
+        _, ftl = self.make_lazy()
+        ftl.stats.merges_full += 1
+        report = audit_ftl(ftl)
+        assert any(v.kind is ViolationKind.LAZY_MERGE
+                   for v in report.violations)
+
+    def test_leaked_stale_copy_detected(self):
+        _, ftl = self.make_lazy()
+        # Pick a pending UMT entry and drop it: its superseded GMT copy
+        # (still VALID, by deferred invalidation) is now a leak.
+        lpn = next(lpn for lpn, _ in ftl.umt.items())
+        ftl.umt.pop(lpn)
+        report = audit_ftl(ftl)
+        assert not report.clean
+        kinds = {v.kind for v in report.violations}
+        assert (ViolationKind.GMT_INCONSISTENT in kinds
+                or ViolationKind.MULTI_OWNER in kinds)
+
+    def test_umt_entry_outside_staging_area(self):
+        _, ftl = self.make_lazy()
+        staging = set(ftl.uba_blocks) | set(ftl.cba_blocks)
+        geometry = ftl.flash.geometry
+        victim = None
+        for block in ftl.flash.blocks:
+            if block.index in staging:
+                continue
+            for offset, page in enumerate(block.pages):
+                if (page.is_valid and page.oob is not None
+                        and page.oob.kind.value == "data"):
+                    victim = (page.oob.lpn,
+                              geometry.ppn_of(block.index, offset))
+                    break
+            if victim:
+                break
+        assert victim is not None
+        lpn, ppn = victim
+        ftl.umt.set(lpn, ppn)  # UMT entry pointing outside UBA/CBA
+        report = audit_ftl(ftl)
+        assert any(v.kind is ViolationKind.UMT_INCONSISTENT
+                   for v in report.violations)
+
+
+class TestBuggyFTLEndToEnd:
+    """The acceptance fixture: an FTL that skips erase-before-program is
+    caught at the faulting op with a structured report and history."""
+
+    def test_buggy_ftl_caught_with_structured_report(self):
+        class InPlaceOverwriteFTL(PageFTL):
+            """Overwrites a mapped lpn in place - the canonical FTL bug."""
+
+            def write(self, lpn, data=None):
+                ppn = self._map[lpn]
+                if ppn is not None:
+                    # Bug: reprogram the same physical page, no erase.
+                    latency = self.flash.program_page(
+                        ppn, data, OOBData(lpn=lpn, seq=0))
+                    return HostResult(latency)
+                return super().write(lpn, data)
+
+        flash = make_flash()
+        ftl = SanitizedFTL(InPlaceOverwriteFTL(flash, logical_pages=16))
+        ftl.write(2, "first")
+        with pytest.raises(SanitizerViolation) as exc_info:
+            ftl.write(2, "second")
+        v = exc_info.value.violation
+        assert v.kind is ViolationKind.PROGRAM_WITHOUT_ERASE
+        assert v.lpn == 2
+        assert v.history  # the op trail is attached
+        assert v.history[-1].op == "program"
+        assert "program-without-erase" in str(exc_info.value)

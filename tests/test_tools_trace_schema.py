@@ -73,3 +73,79 @@ class TestCheckTraceSchema:
     def test_usage_errors(self, tmp_path):
         assert run_tool().returncode == 2
         assert run_tool(str(tmp_path / "missing.jsonl")).returncode == 2
+
+
+class TestCauseStackConsistency:
+    """Flash-op causes must agree with the open GC/merge spans."""
+
+    @staticmethod
+    def write(path, records):
+        path.write_text("\n".join(json.dumps(r) for r in records) + "\n")
+
+    def test_gc_cause_outside_gc_span(self, tmp_path):
+        path = tmp_path / "gc_leak.jsonl"
+        self.write(path, [
+            {"type": "PageRead", "ts": 1, "scheme": "x", "cause": "gc",
+             "ppn": 4, "dur_us": 25.0},
+        ])
+        proc = run_tool(str(path))
+        assert proc.returncode == 1
+        assert "attributed to gc outside any GC span" in proc.stderr
+
+    def test_merge_cause_outside_merge_span(self, tmp_path):
+        path = tmp_path / "merge_leak.jsonl"
+        self.write(path, [
+            {"type": "BlockErase", "ts": 1, "scheme": "x", "cause": "merge",
+             "ppn": 2, "dur_us": 1500.0},
+        ])
+        proc = run_tool(str(path))
+        assert proc.returncode == 1
+        assert "attributed to merge outside any merge span" in proc.stderr
+
+    def test_host_cause_inside_gc_span(self, tmp_path):
+        path = tmp_path / "host_in_gc.jsonl"
+        self.write(path, [
+            {"type": "GCStart", "ts": 0, "scheme": "x", "cause": "gc"},
+            {"type": "PageProgram", "ts": 1, "scheme": "x", "cause": "host",
+             "ppn": 7, "dur_us": 200.0},
+            {"type": "GCEnd", "ts": 2, "scheme": "x", "cause": "gc",
+             "dur_us": 2.0},
+        ])
+        proc = run_tool(str(path))
+        assert proc.returncode == 1
+        assert "attributed to host inside an open GC span" in proc.stderr
+        assert "cause stack leaked" in proc.stderr
+
+    def test_consistent_attribution_passes(self, tmp_path):
+        path = tmp_path / "consistent.jsonl"
+        self.write(path, [
+            {"type": "PageProgram", "ts": 0, "scheme": "x", "cause": "host",
+             "ppn": 0, "dur_us": 200.0},
+            {"type": "GCStart", "ts": 1, "scheme": "x", "cause": "gc"},
+            {"type": "PageRead", "ts": 2, "scheme": "x", "cause": "gc",
+             "ppn": 3, "dur_us": 25.0},
+            # Deeper causes (mapping/convert) inside a span are legal:
+            # innermost-wins pushes them over gc without an event pair.
+            {"type": "PageProgram", "ts": 3, "scheme": "x",
+             "cause": "convert", "ppn": 9, "dur_us": 200.0},
+            {"type": "GCEnd", "ts": 4, "scheme": "x", "cause": "gc",
+             "dur_us": 3.0},
+            {"type": "PageRead", "ts": 5, "scheme": "x", "cause": "host",
+             "ppn": 1, "dur_us": 25.0},
+        ])
+        proc = run_tool(str(path))
+        assert proc.returncode == 0, proc.stderr
+
+    def test_spans_track_per_scheme(self, tmp_path):
+        # Scheme y's open GC span must not excuse scheme x's gc op.
+        path = tmp_path / "per_scheme.jsonl"
+        self.write(path, [
+            {"type": "GCStart", "ts": 0, "scheme": "y", "cause": "gc"},
+            {"type": "PageRead", "ts": 1, "scheme": "x", "cause": "gc",
+             "ppn": 3, "dur_us": 25.0},
+            {"type": "GCEnd", "ts": 2, "scheme": "y", "cause": "gc",
+             "dur_us": 2.0},
+        ])
+        proc = run_tool(str(path))
+        assert proc.returncode == 1
+        assert "attributed to gc outside any GC span (x)" in proc.stderr

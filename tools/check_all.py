@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""check_all - the repository's one-command verification gate.
+
+Runs, in order:
+
+1. **ftlint** - project lint rules over the configured trees;
+2. **pytest** - the tier-1 test suite (``PYTHONPATH=src pytest -q``);
+3. **mypy** - static types for ``repro.core`` / ``repro.flash``
+   (skipped with a notice when mypy is not installed; the container
+   image does not ship it);
+4. **trace schema** - generates a small end-to-end trace via
+   ``python -m repro compare --trace-out`` and validates it with
+   ``tools/check_trace_schema.py`` (including cause-stack consistency).
+
+Configuration lives in ``pyproject.toml`` under ``[tool.check_all]``
+(lint paths, the trace smoke command).  Exit status 0 when every step
+passes, 1 otherwise; each step's verdict is printed as it completes so
+CI logs show exactly which gate failed.
+
+Run:  python tools/check_all.py [--skip pytest] [--skip mypy] ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_SRC = _REPO_ROOT / "src"
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # Python < 3.11
+    tomllib = None
+
+STEPS = ("ftlint", "pytest", "mypy", "trace")
+
+
+def load_config() -> dict:
+    defaults = {
+        "lint_paths": ["src/repro", "tools", "tests", "benchmarks",
+                       "examples"],
+        "trace_requests": 300,
+    }
+    pyproject = _REPO_ROOT / "pyproject.toml"
+    if tomllib is None or not pyproject.is_file():
+        return defaults
+    with open(pyproject, "rb") as stream:
+        data = tomllib.load(stream)
+    defaults.update(data.get("tool", {}).get("check_all", {}))
+    return defaults
+
+
+def _env_with_src() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def run_step(name: str, argv: list) -> bool:
+    print(f"== {name}: {' '.join(argv)}", flush=True)
+    proc = subprocess.run(argv, cwd=_REPO_ROOT, env=_env_with_src())
+    ok = proc.returncode == 0
+    print(f"== {name}: {'OK' if ok else f'FAILED (exit {proc.returncode})'}",
+          flush=True)
+    return ok
+
+
+def step_ftlint(config: dict) -> bool:
+    return run_step("ftlint", [
+        sys.executable, str(_REPO_ROOT / "tools" / "ftlint.py"),
+        *config["lint_paths"],
+    ])
+
+
+def step_pytest(config: dict) -> bool:
+    return run_step("pytest", [sys.executable, "-m", "pytest", "-q"])
+
+
+def step_mypy(config: dict) -> bool:
+    if importlib.util.find_spec("mypy") is None:
+        print("== mypy: SKIPPED (mypy not installed; config is in "
+              "[tool.mypy] of pyproject.toml)", flush=True)
+        return True
+    return run_step("mypy", [sys.executable, "-m", "mypy"])
+
+
+def step_trace(config: dict) -> bool:
+    with tempfile.TemporaryDirectory(prefix="check_all_") as tmp:
+        trace_path = str(pathlib.Path(tmp) / "smoke.jsonl")
+        produced = run_step("trace:generate", [
+            sys.executable, "-m", "repro", "compare",
+            "--trace", "random",
+            "--requests", str(config["trace_requests"]),
+            "--blocks", "96", "--pages-per-block", "16",
+            "--page-size", "512", "--logical-fraction", "0.7",
+            "--schemes", "DFTL", "LazyFTL",
+            "--sanitize",
+            "--trace-out", trace_path,
+        ])
+        if not produced:
+            return False
+        return run_step("trace:schema", [
+            sys.executable,
+            str(_REPO_ROOT / "tools" / "check_trace_schema.py"),
+            trace_path,
+        ])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="check_all", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--skip", action="append", default=[],
+                        choices=list(STEPS), metavar="STEP",
+                        help=f"skip a step (choices: {', '.join(STEPS)}); "
+                             "repeatable")
+    args = parser.parse_args(argv)
+
+    config = load_config()
+    runners = {
+        "ftlint": step_ftlint,
+        "pytest": step_pytest,
+        "mypy": step_mypy,
+        "trace": step_trace,
+    }
+    failed = []
+    for name in STEPS:
+        if name in args.skip:
+            print(f"== {name}: SKIPPED (--skip)", flush=True)
+            continue
+        if not runners[name](config):
+            failed.append(name)
+    print()
+    if failed:
+        print(f"check_all: FAILED ({', '.join(failed)})")
+        return 1
+    print("check_all: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,7 +6,10 @@ Checks every line of a trace written by ``repro compare --trace-out``:
   :class:`repro.obs.TraceEvent` (unknown ``type``/``cause`` values fail);
 * timestamps are non-negative and non-decreasing per scheme;
 * ``dur_us`` is non-negative, and present on every flash-op record;
-* GCStart/GCEnd and MergeStart/MergeEnd balance per scheme.
+* GCStart/GCEnd and MergeStart/MergeEnd balance per scheme;
+* per-event cause is consistent with the open spans (innermost wins): a
+  flash op tagged ``gc``/``merge`` needs that span open, and a flash op
+  tagged ``host`` must not appear inside an open GC or merge span.
 
 Exit status is 0 when the trace is clean, 1 when any violation is found
 (each violation is printed with its line number), 2 on usage errors - so
@@ -28,6 +31,7 @@ sys.path.insert(
 )
 
 from repro.obs import FLASH_OP_TYPES, SPAN_PAIRS, TraceEvent  # noqa: E402
+from repro.obs.events import Cause, EventType  # noqa: E402
 
 
 def check_trace(path: str, limit: int = 20):
@@ -68,6 +72,36 @@ def check_trace(path: str, limit: int = 20):
             if event.type in FLASH_OP_TYPES and event.dur_us <= 0:
                 yield lineno, f"flash op {event.type.value} without dur_us"
                 emitted += 1
+            if event.type in FLASH_OP_TYPES:
+                # Cause-stack consistency (innermost activity wins).  Only
+                # GC and merge spans emit start/end events, so those are
+                # the reconstructable part of the stack: an op tagged
+                # gc/merge needs its span open, and an op tagged host
+                # cannot be issued from inside either span.
+                gc_open = span_depth.get(
+                    (event.scheme, EventType.GC_START), 0)
+                merge_open = span_depth.get(
+                    (event.scheme, EventType.MERGE_START), 0)
+                if event.cause is Cause.GC and not gc_open:
+                    yield lineno, (
+                        f"{event.type.value} attributed to gc outside any "
+                        f"GC span ({event.scheme})"
+                    )
+                    emitted += 1
+                elif event.cause is Cause.MERGE and not merge_open:
+                    yield lineno, (
+                        f"{event.type.value} attributed to merge outside "
+                        f"any merge span ({event.scheme})"
+                    )
+                    emitted += 1
+                elif event.cause is Cause.HOST and (gc_open or merge_open):
+                    span = "GC" if gc_open else "merge"
+                    yield lineno, (
+                        f"{event.type.value} attributed to host inside an "
+                        f"open {span} span ({event.scheme}) - the cause "
+                        "stack leaked"
+                    )
+                    emitted += 1
             if event.type in SPAN_PAIRS:
                 key = (event.scheme, event.type)
                 span_depth[key] = span_depth.get(key, 0) + 1
