@@ -51,6 +51,24 @@ def pytest_terminal_summary(terminalreporter):
             write(line)
 
 
+def run_cells(cells, jobs=None):
+    """Run a list of :class:`repro.perf.SweepCell` measurement cells.
+
+    ``jobs`` defaults to the ``REPRO_BENCH_JOBS`` environment variable
+    (``1`` if unset): the benchmarks stay serial by default so
+    pytest-benchmark timings measure one process, but a sweep-heavy local
+    run can fan out with ``REPRO_BENCH_JOBS=4 pytest benchmarks/``.
+    Results are identical either way (workers rebuild the device/FTL).
+    """
+    import os
+
+    from repro.perf.sweep import run_sweep
+
+    if jobs is None:
+        jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    return run_sweep(cells, jobs=jobs)
+
+
 def headline_traces(footprint: int):
     """The five workloads of the headline comparison (E3/E4)."""
     from repro.traces import (

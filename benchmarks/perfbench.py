@@ -1,0 +1,229 @@
+#!/usr/bin/env python3
+"""perfbench - wall-clock throughput harness with regression gating.
+
+Measures *simulator* speed (host page-operations replayed per second of
+wall-clock, warm-up included) for a fixed suite of cells:
+
+* **micro** - the pure page-mapped scheme ("ideal") replaying uniform
+  random single-page writes: pure mapping-table + flash-array overhead,
+  no merge logic, so it isolates the engine's per-op cost.
+* **macro** - LazyFTL and DFTL replaying the synthetic Financial1-like
+  OLTP trace with steady-state preconditioning: the headline workload,
+  dominated by GC/translation traffic like the E3/E4 experiments.
+
+Each cell runs ``--repeat`` times (default 3) and keeps the *best*
+throughput, which is the standard way to suppress scheduler noise on a
+shared box.
+
+Results land in ``BENCH_pr3.json`` at the repo root:
+
+* ``--record before|after`` stores this run under that section (keyed by
+  suite: ``full`` or ``smoke``) and refreshes the ``speedup`` block when
+  both sections exist;
+* ``--check`` compares this run against the committed ``after`` section
+  and exits 1 when any cell regresses more than
+  ``[tool.perfbench] max_regression_pct`` (pyproject.toml, default 15);
+* ``--smoke`` shrinks the workload so the whole suite runs in a couple
+  of seconds - this is what the ``tools/check_all.py`` gate executes.
+
+Run:  PYTHONPATH=src python benchmarks/perfbench.py [--smoke] [--check]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_SRC = _REPO_ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.sim.runner import DeviceSpec, run_scheme  # noqa: E402
+from repro.traces.financial import financial1  # noqa: E402
+from repro.traces.model import merge_traces  # noqa: E402
+from repro.traces.synthetic import uniform_random, warmup_fill  # noqa: E402
+
+try:
+    import tomllib
+except ModuleNotFoundError:  # Python < 3.11
+    tomllib = None
+
+BENCH_PATH = _REPO_ROOT / "BENCH_pr3.json"
+DEFAULT_MAX_REGRESSION_PCT = 15.0
+
+
+def max_regression_pct() -> float:
+    """Regression threshold from ``[tool.perfbench]`` in pyproject.toml."""
+    pyproject = _REPO_ROOT / "pyproject.toml"
+    if tomllib is None or not pyproject.is_file():
+        return DEFAULT_MAX_REGRESSION_PCT
+    with open(pyproject, "rb") as stream:
+        data = tomllib.load(stream)
+    section = data.get("tool", {}).get("perfbench", {})
+    return float(
+        section.get("max_regression_pct", DEFAULT_MAX_REGRESSION_PCT)
+    )
+
+
+def _steady_warmup(footprint: int):
+    """The exact warm-up ``run_scheme(precondition="steady")`` builds.
+
+    Built explicitly here so its page operations count toward the
+    measured throughput (the warm-up replays through the same engine).
+    """
+    warmup = warmup_fill(footprint)
+    overwrites = uniform_random(
+        int(footprint * 0.7), footprint, write_ratio=1.0, seed=987,
+        name="steady-warmup",
+    )
+    return merge_traces([warmup, overwrites], name="warmup")
+
+
+def build_cells(smoke: bool):
+    """The fixed measurement cells: (key, scheme, trace, warmup, device)."""
+    if smoke:
+        device = DeviceSpec(
+            num_blocks=96, pages_per_block=16, page_size=512,
+            logical_fraction=0.7,
+        )
+        n_micro, n_macro = 4000, 2500
+    else:
+        device = DeviceSpec(
+            num_blocks=128, pages_per_block=32, page_size=512,
+            logical_fraction=0.8,
+        )
+        n_micro, n_macro = 40000, 25000
+    footprint = device.logical_pages
+    micro_trace = uniform_random(
+        n_micro, footprint, write_ratio=1.0, seed=101, name="uniform-writes",
+    )
+    macro_trace = financial1(n_macro, footprint, seed=202)
+    fill = warmup_fill(footprint)
+    steady = _steady_warmup(footprint)
+    return [
+        ("micro:ideal", "ideal", micro_trace, fill, device),
+        ("macro:LazyFTL", "LazyFTL", macro_trace, steady, device),
+        ("macro:DFTL", "DFTL", macro_trace, steady, device),
+    ]
+
+
+def run_suite(smoke: bool, repeats: int) -> dict:
+    """Run every cell; returns ``key -> {"ops_per_sec", ...}``."""
+    results = {}
+    for key, scheme, trace, warmup, device in build_cells(smoke):
+        total_ops = warmup.page_ops + trace.page_ops
+        best = 0.0
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run_scheme(scheme, trace, device=device, warmup=warmup)
+            elapsed = time.perf_counter() - start
+            best = max(best, total_ops / elapsed)
+        results[key] = {
+            "ops_per_sec": round(best, 1),
+            "page_ops": total_ops,
+            "repeats": repeats,
+        }
+        print(f"{key:16s} {best:10.0f} ops/s  ({total_ops} page ops, "
+              f"best of {repeats})")
+    return results
+
+
+def _macro_aggregate(cells: dict) -> float:
+    """Total macro throughput: sum(ops) / sum(best-run seconds)."""
+    ops = sec = 0.0
+    for key, cell in cells.items():
+        if key.startswith("macro:"):
+            ops += cell["page_ops"]
+            sec += cell["page_ops"] / cell["ops_per_sec"]
+    return ops / sec if sec else 0.0
+
+
+def _load_bench() -> dict:
+    if BENCH_PATH.is_file():
+        with open(BENCH_PATH, encoding="utf-8") as stream:
+            return json.load(stream)
+    return {"schema": 1}
+
+
+def record(section: str, suite: str, cells: dict) -> None:
+    data = _load_bench()
+    data.setdefault(section, {})[suite] = cells
+    before = data.get("before", {}).get(suite)
+    after = data.get("after", {}).get(suite)
+    if before and after:
+        speedup = {
+            key: round(
+                after[key]["ops_per_sec"] / before[key]["ops_per_sec"], 3
+            )
+            for key in sorted(before)
+            if key in after
+        }
+        speedup["macro"] = round(
+            _macro_aggregate(after) / _macro_aggregate(before), 3
+        )
+        data.setdefault("speedup", {})[suite] = speedup
+    with open(BENCH_PATH, "w", encoding="utf-8") as stream:
+        json.dump(data, stream, indent=1, sort_keys=True)
+        stream.write("\n")
+    print(f"recorded {suite} suite under '{section}' in {BENCH_PATH.name}")
+
+
+def check(suite: str, cells: dict) -> int:
+    """Fail (exit 1) when any cell regresses past the threshold."""
+    baseline = _load_bench().get("after", {}).get(suite)
+    if not baseline:
+        print(f"perfbench: no committed '{suite}' baseline in "
+              f"{BENCH_PATH.name}; record one with --record after")
+        return 1
+    threshold = max_regression_pct()
+    failed = False
+    for key, cell in sorted(cells.items()):
+        base = baseline.get(key)
+        if base is None:
+            print(f"{key}: NEW (no baseline)")
+            continue
+        delta_pct = 100.0 * (
+            cell["ops_per_sec"] / base["ops_per_sec"] - 1.0
+        )
+        verdict = "ok"
+        if delta_pct < -threshold:
+            verdict = f"REGRESSION (>{threshold:.0f}% slower)"
+            failed = True
+        print(f"{key:16s} {cell['ops_per_sec']:10.0f} ops/s vs baseline "
+              f"{base['ops_per_sec']:10.0f} ({delta_pct:+.1f}%) {verdict}")
+    return 1 if failed else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="perfbench", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workload (the check_all gate)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="runs per cell; the best is kept (default 3)")
+    parser.add_argument("--record", choices=("before", "after"),
+                        help="store this run in BENCH_pr3.json")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed 'after' "
+                             "baseline; exit 1 on regression")
+    args = parser.parse_args(argv)
+
+    suite = "smoke" if args.smoke else "full"
+    print(f"perfbench: {suite} suite, best of {args.repeat}")
+    cells = run_suite(args.smoke, args.repeat)
+    print(f"macro aggregate: {_macro_aggregate(cells):.0f} ops/s")
+    status = 0
+    if args.record:
+        record(args.record, suite, cells)
+    if args.check:
+        status = check(suite, cells)
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,7 @@ FTL003  Block state mutated only inside repro.flash
 FTL004  span_start/span_end + push_cause/pop_cause pair per function
 FTL005  no bare/overbroad except without re-raise
 FTL006  no mutable default arguments
+FTL007  logical->physical maps in core/ftl must be array-backed
 ======  ==============================================================
 
 Run via ``python tools/ftlint.py [paths...]`` or programmatically through

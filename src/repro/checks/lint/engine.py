@@ -17,6 +17,7 @@ from .base import FileContext, LintViolation, Rule
 from .block_mutation import BlockMutationRule
 from .defaults import MutableDefaultRule
 from .excepts import ExceptHygieneRule
+from .maptypes import DictMapRule
 from .randomness import UnseededRandomRule
 from .spans import SpanBalanceRule
 from .wallclock import WallClockRule
@@ -29,6 +30,7 @@ ALL_RULES: Sequence[Type[Rule]] = (
     SpanBalanceRule,
     ExceptHygieneRule,
     MutableDefaultRule,
+    DictMapRule,
 )
 
 

@@ -1,0 +1,79 @@
+"""FTL007: no dict-backed logical->physical maps in hot modules.
+
+The engine's hot paths (``repro.core`` and ``repro.ftl``) keep their
+logical-to-physical translation state in flat array-backed tables
+(:class:`repro.perf.maptable.MapTable`): dense integer keys in a dict pay
+for hashing, boxed ints and pointer chasing on every single page
+operation.  This rule flags ``self.<map-ish attribute> = {}`` (or
+``dict()`` / ``OrderedDict()`` / ``defaultdict()``) assignments in those
+packages so new schemes start on the fast representation.
+
+Structures that are *sparse by design* - DFTL's bounded CMT is the
+canonical case - opt out per line with ``# ftlint: disable=FTL007`` and a
+comment explaining why a flat table would be wrong.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from .base import Rule
+
+#: Attribute-name fragments that mark a logical->physical map.
+_MAP_NAME_HINTS = ("map", "gtd", "cmt", "l2p", "p2l")
+#: Constructors that build a dict-backed container.
+_DICT_CALLS = frozenset({"dict", "OrderedDict", "defaultdict", "Counter"})
+
+
+class DictMapRule(Rule):
+    RULE_ID = "FTL007"
+    MESSAGE = ("logical->physical maps in hot modules must be "
+               "array-backed (repro.perf.maptable), not dicts")
+    SCOPES = frozenset({"core", "ftl"})
+
+    @staticmethod
+    def _is_mappish(attr: str) -> bool:
+        lowered = attr.lower()
+        return any(hint in lowered for hint in _MAP_NAME_HINTS)
+
+    @staticmethod
+    def _is_dict_value(value: ast.expr) -> bool:
+        if isinstance(value, (ast.Dict, ast.DictComp)):
+            return True
+        if isinstance(value, ast.Call):
+            func = value.func
+            if isinstance(func, ast.Name):
+                return func.id in _DICT_CALLS
+            if isinstance(func, ast.Attribute):
+                return func.attr in _DICT_CALLS
+        return False
+
+    def _check(self, target: ast.expr, value: Optional[ast.expr]) -> None:
+        if value is None:
+            return
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and self._is_mappish(target.attr)
+            and self._is_dict_value(value)
+        ):
+            # Report on the value: the dict construction is the offense,
+            # and that is where a per-line disable comment lives when the
+            # assignment wraps.
+            self.report(
+                value,
+                f"self.{target.attr} is a dict-backed logical->physical "
+                "map; use repro.perf.maptable.MapTable (or justify with "
+                "# ftlint: disable=FTL007)",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check(target, node.value)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check(node.target, node.value)
+        self.generic_visit(node)

@@ -32,6 +32,7 @@ from .analysis import (
 )
 from .checks import SanitizerViolation
 from .obs import JsonlSink, Tracer
+from .perf.sweep import SweepWorkerError
 from .sim import HEADLINE_DEVICE, SCHEMES, DeviceSpec, compare_schemes
 from .sim.report import format_table
 from .traces import (
@@ -107,6 +108,11 @@ def cmd_compare(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         tracer = Tracer(sinks=sinks)
+    if args.jobs > 1 and tracer is not None:
+        print("--jobs > 1 cannot be combined with --trace-out/--metrics: "
+              "the event stream cannot cross process boundaries",
+              file=sys.stderr)
+        return 2
     try:
         results = compare_schemes(
             trace,
@@ -115,9 +121,15 @@ def cmd_compare(args: argparse.Namespace) -> int:
             precondition="steady" if args.steady else True,
             tracer=tracer,
             sanitize=args.sanitize,
+            jobs=args.jobs,
         )
     except SanitizerViolation as exc:
         print(exc.violation.render(), file=sys.stderr)
+        return 3
+    except SweepWorkerError as exc:
+        # A parallel worker died (sanitizer violation or engine bug); its
+        # traceback is embedded in the message.
+        print(exc, file=sys.stderr)
         return 3
     finally:
         if tracer is not None:
@@ -226,6 +238,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run under the flashsan NAND-semantics "
                               "sanitizer (validates every raw op and "
                               "audits mapping state after the run)")
+    compare.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="fan schemes over N worker processes "
+                              "(default 1: in-process; results are "
+                              "identical either way)")
     compare.set_defaults(func=cmd_compare)
 
     inspect = sub.add_parser(

@@ -11,19 +11,22 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..flash.geometry import MAP_ENTRY_BYTES
+from ..perf.maptable import MapTable
 
 
 class GlobalTranslationDirectory:
     """Locates every GMT page on flash.
 
     An entry of None means the GMT page has never been written: every
-    logical page it covers is unmapped.
+    logical page it covers is unmapped.  Backed by a flat
+    :class:`~repro.perf.maptable.MapTable` (sentinel -1) rather than a
+    boxed list so directory probes on the translation hot path stay cheap.
     """
 
     def __init__(self, num_tvpns: int):
         if num_tvpns <= 0:
             raise ValueError("num_tvpns must be positive")
-        self._entries: List[Optional[int]] = [None] * num_tvpns
+        self._entries = MapTable(num_tvpns)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -37,7 +40,7 @@ class GlobalTranslationDirectory:
 
     def materialized(self) -> int:
         """How many GMT pages exist on flash."""
-        return sum(1 for e in self._entries if e is not None)
+        return self._entries.mapped_count()
 
     def ram_bytes(self) -> int:
         """4 bytes per directory entry, the paper's convention."""
@@ -45,7 +48,7 @@ class GlobalTranslationDirectory:
 
     def snapshot(self) -> List[Optional[int]]:
         """Copy of the directory for checkpoints."""
-        return list(self._entries)
+        return self._entries.snapshot()
 
     def restore(self, entries: List[Optional[int]]) -> None:
         """Replace the directory contents (recovery path)."""
@@ -53,4 +56,4 @@ class GlobalTranslationDirectory:
             raise ValueError(
                 f"directory size mismatch: {len(entries)} != {len(self._entries)}"
             )
-        self._entries = list(entries)
+        self._entries.restore(entries)

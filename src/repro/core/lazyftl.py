@@ -25,6 +25,7 @@ from typing import Any, List, Optional
 from ..flash.chip import NandFlash
 from ..flash.errors import BadBlockError
 from ..flash.oob import OOBData, PageKind, SequenceCounter
+from ..flash.page import PageState
 from ..ftl.base import UNMAPPED_READ_US, FlashTranslationLayer, HostResult
 from ..obs.events import Cause, EventType
 from ..obs.tracer import Tracer
@@ -88,6 +89,9 @@ class LazyFTL(FlashTranslationLayer):
                     f"checkpoint anchor block {anchor} is factory-bad; "
                     "this device cannot host LazyFTL's recovery design"
                 )
+        #: Cached geometry scalar so the per-write address math below is a
+        #: multiply-add instead of a method call through the geometry object.
+        self._pages_per_block = geometry.pages_per_block
         self._seq = SequenceCounter()
         self._pool = BlockPool(
             b for b in range(geometry.num_blocks)
@@ -117,11 +121,12 @@ class LazyFTL(FlashTranslationLayer):
     # Host interface
     # ------------------------------------------------------------------
     def read(self, lpn: int) -> HostResult:
-        self._check_lpn(lpn)
+        if not 0 <= lpn < self.logical_pages:
+            self._check_lpn(lpn)
         self.stats.host_reads += 1
-        entry = self._umt.get(lpn)
-        if entry is not None:
-            data, _, latency = self.flash.read_page(entry.ppn)
+        umt_ppn = self._umt.ppn_at(lpn)
+        if umt_ppn >= 0:
+            data, _, latency = self.flash.read_page(umt_ppn)
             return HostResult(latency, data)
         ppn, latency = self._maps.lookup(lpn)
         if ppn is None:
@@ -130,22 +135,28 @@ class LazyFTL(FlashTranslationLayer):
         return HostResult(latency + read_lat, data)
 
     def write(self, lpn: int, data: Any = None) -> HostResult:
-        self._check_lpn(lpn)
+        if not 0 <= lpn < self.logical_pages:
+            self._check_lpn(lpn)
         self.stats.host_writes += 1
-        latency = self._ensure_update_frontier()
+        frontier = self._uba.frontier
+        if frontier is None or \
+                self.flash.blocks[frontier]._write_ptr >= self._pages_per_block:
+            latency = self._ensure_update_frontier()
+            frontier = self._uba.frontier
+        else:
+            latency = 0.0
         # Resolve the superseded copy only now: the frontier work above may
         # have converted the block holding it (removing its UMT entry).
-        old = self._umt.get(lpn)
-        frontier = self._uba.frontier
-        block = self.flash.block(frontier)
-        ppn = self.flash.geometry.ppn_of(frontier, block.write_ptr)
+        old_ppn = self._umt.ppn_at(lpn)
+        block = self.flash.blocks[frontier]
+        ppn = frontier * self._pages_per_block + block._write_ptr
         latency += self.flash.program_page(
-            ppn, data, OOBData(lpn=lpn, seq=self._seq.next())
+            ppn, data, OOBData(lpn, self._seq.next())
         )
-        if old is not None:
+        if old_ppn >= 0:
             # The old copy lives in the UBA/CBA: invalidate immediately.
             # (GMT-resident old copies are invalidated lazily at commit.)
-            self.flash.invalidate_page(old.ppn)
+            self.flash.invalidate_page(old_ppn)
         self._umt.set(lpn, ppn, cold=False)
         latency += self._periodic_checkpoint()
         return HostResult(latency)
@@ -261,14 +272,15 @@ class LazyFTL(FlashTranslationLayer):
         tracer = self._tracer
         if tracer is not None:
             tracer.span_start(None, Cause.CONVERT)
-        block = self.flash.block(pbn)
-        geometry = self.flash.geometry
+        block = self.flash.blocks[pbn]
+        base = pbn * self._pages_per_block
+        points_to = self._umt.points_to
+        pages = block.pages
         pairs = []
         for offset in block.valid_offsets():
-            page = block.pages[offset]
-            lpn = page.oob.lpn
-            ppn = geometry.ppn_of(pbn, offset)
-            if self._umt.points_to(lpn, ppn):
+            lpn = pages[offset].oob.lpn
+            ppn = base + offset
+            if points_to(lpn, ppn):
                 pairs.append((lpn, ppn))
             # A valid page the UMT does not point to was committed early by
             # a previous conversion's global batching (below); its mapping
@@ -284,12 +296,12 @@ class LazyFTL(FlashTranslationLayer):
                 for lpn in self._umt.lpns_in_tvpn(tvpn):
                     if lpn in in_group:
                         continue
-                    entry = self._umt.get(lpn)
-                    group.append((lpn, entry.ppn))
+                    group.append((lpn, self._umt.ppn_at(lpn)))
                     committed.append(lpn)
         latency = self._maps.commit(groups, self._deferred_invalidate)
+        discard = self._umt.discard
         for lpn in committed:
-            self._umt.pop(lpn)
+            discard(lpn)
         if tracer is not None:
             tracer.span_end(
                 EventType.CONVERT, ppn=pbn,
@@ -304,13 +316,14 @@ class LazyFTL(FlashTranslationLayer):
         since; the page-identity check (state + OOB lpn) makes the
         invalidation safe in that case.
         """
-        pbn, offset = self.flash.geometry.split_ppn(old_ppn)
-        page = self.flash.block(pbn).pages[offset]
+        page = self.flash.blocks[old_ppn // self._pages_per_block] \
+            .pages[old_ppn % self._pages_per_block]
+        oob = page.oob
         if (
-            page.is_valid
-            and page.oob is not None
-            and page.oob.kind is PageKind.DATA
-            and page.oob.lpn == lpn
+            page.state is PageState.VALID
+            and oob is not None
+            and oob.kind is PageKind.DATA
+            and oob.lpn == lpn
         ):
             self.flash.invalidate_page(old_ppn)
 
@@ -326,8 +339,9 @@ class LazyFTL(FlashTranslationLayer):
         return latency
 
     def _collect_one(self, forced_victim: Optional[int] = None) -> float:
-        candidates = [self.flash.block(b) for b in self._dba]
-        candidates += [self.flash.block(b) for b in self._maps.full_blocks]
+        blocks = self.flash.blocks
+        candidates = [blocks[b] for b in self._dba]
+        candidates += [blocks[b] for b in self._maps.full_blocks]
         if forced_victim is not None:
             victim = self.flash.block(forced_victim)
         else:
@@ -373,36 +387,48 @@ class LazyFTL(FlashTranslationLayer):
     def _collect_data_block(self, pbn: int) -> float:
         """Relocate a DBA victim's live pages into the cold area."""
         latency = 0.0
-        geometry = self.flash.geometry
-        block = self.flash.block(pbn)
+        flash = self.flash
+        blocks = flash.blocks
+        read_page = flash.read_page
+        program_page = flash.program_page
+        invalidate_page = flash.invalidate_page
+        umt = self._umt
+        ppn_at = umt.ppn_at
+        seq_next = self._seq.next
+        stats = self.stats
+        cba = self._cba
+        ppb = self._pages_per_block
+        base = pbn * ppb
+        block = blocks[pbn]
+        pages = block.pages
         for offset in list(block.valid_offsets()):
-            if not block.pages[offset].is_valid:
+            if not pages[offset].is_valid:
                 # A cold-block conversion triggered earlier in this very
                 # loop can commit a UMT entry whose displaced GMT value is
                 # this page (deferred invalidation resolving mid-pass);
                 # the snapshot above is then stale - skip the dead page.
                 continue
-            src = geometry.ppn_of(pbn, offset)
-            lpn = block.pages[offset].oob.lpn
-            entry = self._umt.get(lpn)
-            if entry is not None and entry.ppn != src:
+            src = base + offset
+            lpn = pages[offset].oob.lpn
+            umt_ppn = ppn_at(lpn)
+            if umt_ppn >= 0 and umt_ppn != src:
                 # Superseded by a later write whose mapping is still in the
                 # UMT: the deferred invalidation resolves here, for free.
-                self.flash.invalidate_page(src)
+                invalidate_page(src)
                 continue
-            data, _, read_lat = self.flash.read_page(src)
+            data, _, read_lat = read_page(src)
             latency += read_lat
-            latency += self._ensure_cold_frontier()
-            frontier = self._cba.frontier
-            dst_block = self.flash.block(frontier)
-            dst = geometry.ppn_of(frontier, dst_block.write_ptr)
-            latency += self.flash.program_page(
-                dst, data,
-                OOBData(lpn=lpn, seq=self._seq.next(), cold=True),
+            frontier = cba.frontier
+            if frontier is None or blocks[frontier]._write_ptr >= ppb:
+                latency += self._ensure_cold_frontier()
+                frontier = cba.frontier
+            dst = frontier * ppb + blocks[frontier]._write_ptr
+            latency += program_page(
+                dst, data, OOBData(lpn, seq_next(), cold=True),
             )
-            self._umt.set(lpn, dst, cold=True)
-            self.flash.invalidate_page(src)
-            self.stats.gc_page_copies += 1
+            umt.set(lpn, dst, cold=True)
+            invalidate_page(src)
+            stats.gc_page_copies += 1
         return latency
 
     def background_work(self, budget_us: float) -> float:
@@ -417,11 +443,10 @@ class LazyFTL(FlashTranslationLayer):
             return 0.0
         soft_threshold = 2 * self.config.gc_free_threshold
         used = 0.0
+        blocks = self.flash.blocks
         while used < budget_us and len(self._pool) <= soft_threshold:
-            candidates = [self.flash.block(b) for b in self._dba]
-            candidates += [
-                self.flash.block(b) for b in self._maps.full_blocks
-            ]
+            candidates = [blocks[b] for b in self._dba]
+            candidates += [blocks[b] for b in self._maps.full_blocks]
             victim = select_greedy(candidates)
             if victim is None or \
                     victim.valid_count >= victim.pages_per_block:

@@ -14,7 +14,6 @@ GMT pages from flash.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..flash.chip import NandFlash
@@ -23,6 +22,7 @@ from ..flash.oob import OOBData, PageKind, SequenceCounter
 from ..ftl.pool import BlockPool
 from ..ftl.stats import FtlStats
 from ..obs.events import Cause, EventType
+from ..perf.maptable import LruCache
 from .gtd import GlobalTranslationDirectory
 
 
@@ -45,7 +45,7 @@ class MappingStore:
         self.gtd = GlobalTranslationDirectory(num_tvpns)
         self.entries_per_page = flash.geometry.map_entries_per_page
         self.cache_pages = cache_pages
-        self._cache: "OrderedDict[int, List[Optional[int]]]" = OrderedDict()
+        self._cache = LruCache(cache_pages)
         self._frontier: Optional[int] = None
         self._full_blocks: Set[int] = set()
         #: Optional tracer, threaded down by LazyFTL.attach_tracer.
@@ -81,7 +81,6 @@ class MappingStore:
         idx = lpn % self.entries_per_page
         cached = self._cache.get(tvpn)
         if cached is not None:
-            self._cache.move_to_end(tvpn)
             return cached[idx], 0.0
         tppn = self.gtd.get(tvpn)
         if tppn is None:
@@ -96,14 +95,13 @@ class MappingStore:
                 tracer.pop_cause()
                 tracer.emit(EventType.MAP_READ, lpn=tvpn, ppn=tppn)
         self.stats.map_reads += 1
-        self._cache_put(tvpn, list(content))
+        self._cache.put(tvpn, list(content))
         return content[idx], latency
 
     def load(self, tvpn: int) -> Tuple[List[Optional[int]], float]:
         """Full content of a GMT page (a fresh empty page if absent)."""
         cached = self._cache.get(tvpn)
         if cached is not None:
-            self._cache.move_to_end(tvpn)
             return list(cached), 0.0
         tppn = self.gtd.get(tvpn)
         if tppn is None:
@@ -132,6 +130,8 @@ class MappingStore:
                 uses for its deferred invalidation of old data pages.
         """
         latency = 0.0
+        entries_per_page = self.entries_per_page
+        stats = self.stats
         for tvpn in sorted(groups):
             # Reserve the slot first so the allocation cannot interleave
             # with the content snapshot below.
@@ -139,11 +139,12 @@ class MappingStore:
             content, read_lat = self.load(tvpn)
             latency += read_lat
             for lpn, new_ppn in groups[tvpn]:
-                old_ppn = content[lpn % self.entries_per_page]
+                idx = lpn % entries_per_page
+                old_ppn = content[idx]
                 if old_ppn is not None and old_ppn != new_ppn:
                     on_superseded(lpn, old_ppn)
-                content[lpn % self.entries_per_page] = new_ppn
-                self.stats.batched_commits += 1
+                content[idx] = new_ppn
+                stats.batched_commits += 1
             latency += self._program(tvpn, content)
         if self.tracer is not None:
             self.tracer.emit(
@@ -156,8 +157,9 @@ class MappingStore:
     def _program(self, tvpn: int, content: List[Optional[int]]) -> float:
         """Write a new version of GMT page ``tvpn``; update GTD and cache."""
         latency = self._ensure_frontier()
-        block = self.flash.block(self._frontier)
-        ppn = self.flash.geometry.ppn_of(self._frontier, block.write_ptr)
+        frontier = self._frontier
+        block = self.flash.blocks[frontier]
+        ppn = frontier * len(block.pages) + block._write_ptr
         latency += self.flash.program_page(
             ppn,
             content,
@@ -170,18 +172,19 @@ class MappingStore:
         if old is not None:
             self.flash.invalidate_page(old)
         self.gtd.set(tvpn, ppn)
-        self._cache_put(tvpn, content)
+        self._cache.put(tvpn, content)
         return latency
 
     def _ensure_frontier(self) -> float:
         """Keep a writable mapping block; allocation comes from the shared
         pool whose GC reserve is sized for it (no recursive GC here)."""
-        if self._frontier is not None and \
-                self.flash.block(self._frontier).is_full:
-            self._full_blocks.add(self._frontier)
-            self._frontier = None
-        if self._frontier is None:
-            self._frontier = self.pool.allocate()
+        frontier = self._frontier
+        if frontier is not None:
+            block = self.flash.blocks[frontier]
+            if block._write_ptr < len(block.pages):
+                return 0.0
+            self._full_blocks.add(frontier)
+        self._frontier = self.pool.allocate()
         return 0.0
 
     # ------------------------------------------------------------------
@@ -190,30 +193,39 @@ class MappingStore:
     def collect(self, pbn: int) -> float:
         """Relocate a victim MBA block's valid GMT pages; caller erases."""
         latency = 0.0
-        geometry = self.flash.geometry
-        block = self.flash.block(pbn)
+        flash = self.flash
+        blocks = flash.blocks
+        read_page = flash.read_page
+        program_page = flash.program_page
+        invalidate_page = flash.invalidate_page
+        seq_next = self.seq.next
+        gtd_set = self.gtd.set
+        stats = self.stats
+        tracer = self.tracer
+        ppb = flash.geometry.pages_per_block
+        base = pbn * ppb
+        block = blocks[pbn]
         for offset in list(block.valid_offsets()):
-            src = geometry.ppn_of(pbn, offset)
-            content, oob, read_lat = self.flash.read_page(src)
+            src = base + offset
+            content, oob, read_lat = read_page(src)
             latency += read_lat
-            self.stats.map_reads += 1
-            if self.tracer is not None:
-                self.tracer.emit(EventType.MAP_READ, lpn=oob.lpn, ppn=src)
+            stats.map_reads += 1
+            if tracer is not None:
+                tracer.emit(EventType.MAP_READ, lpn=oob.lpn, ppn=src)
             latency += self._ensure_frontier()
-            dst_block = self.flash.block(self._frontier)
-            dst = geometry.ppn_of(self._frontier, dst_block.write_ptr)
-            latency += self.flash.program_page(
+            frontier = self._frontier
+            dst = frontier * ppb + blocks[frontier]._write_ptr
+            latency += program_page(
                 dst,
                 content,
-                OOBData(lpn=oob.lpn, seq=self.seq.next(),
-                        kind=PageKind.MAPPING),
+                OOBData(lpn=oob.lpn, seq=seq_next(), kind=PageKind.MAPPING),
             )
-            self.stats.map_writes += 1
-            if self.tracer is not None:
-                self.tracer.emit(EventType.MAP_WRITE, lpn=oob.lpn, ppn=dst)
-            self.stats.gc_page_copies += 1
-            self.gtd.set(oob.lpn, dst)
-            self.flash.invalidate_page(src)
+            stats.map_writes += 1
+            if tracer is not None:
+                tracer.emit(EventType.MAP_WRITE, lpn=oob.lpn, ppn=dst)
+            stats.gc_page_copies += 1
+            gtd_set(oob.lpn, dst)
+            invalidate_page(src)
         self._full_blocks.discard(pbn)
         return latency
 
@@ -223,14 +235,6 @@ class MappingStore:
     def ram_bytes(self) -> int:
         cache_bytes = self.cache_pages * self.entries_per_page * MAP_ENTRY_BYTES
         return self.gtd.ram_bytes() + cache_bytes
-
-    def _cache_put(self, tvpn: int, content: List[Optional[int]]) -> None:
-        if self.cache_pages <= 0:
-            return
-        self._cache[tvpn] = content
-        self._cache.move_to_end(tvpn)
-        while len(self._cache) > self.cache_pages:
-            self._cache.popitem(last=False)
 
     def snapshot(self) -> Dict[str, object]:
         """Checkpoint fragment: GTD + MBA membership."""

@@ -5,14 +5,22 @@ entries of every page currently living in the update or cold block areas,
 i.e. exactly the entries whose GMT copies are *deliberately stale*.  Its
 size is bounded by the page capacity of those two small areas, so unlike
 the ideal FTL's full map it stays tiny regardless of device capacity.
+
+Storage is a flat ``array('q')`` of physical page numbers indexed by lpn
+(sentinel -1 = absent) plus a parallel ``bytearray`` of cold flags, grown
+on demand.  The reported RAM footprint stays entry-count based (the
+paper's 8-bytes-per-entry convention); the flat layout is a simulator
+speed optimization, not a change to the modeled structure.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..flash.geometry import MAP_ENTRY_BYTES
+from ..perf.maptable import UNMAPPED
 
 
 @dataclass(frozen=True)
@@ -36,47 +44,110 @@ class UpdateMappingTable:
     their mapping, because conversion commits *every* UMT entry of a GMT
     page whenever that page is rewritten - the global batching that makes
     one mapping-page read-modify-write absorb updates from many blocks.
+
+    Hot paths (LazyFTL's per-write UMT probe) should use :meth:`ppn_at`,
+    which answers from the flat array without allocating an entry object.
     """
 
     def __init__(self, entries_per_page: int = 512) -> None:
         if entries_per_page <= 0:
             raise ValueError("entries_per_page must be positive")
         self.entries_per_page = entries_per_page
-        self._entries: Dict[int, UmtEntry] = {}
+        self._ppn = array("q")
+        self._cold = bytearray()
+        self._count = 0
         self._by_tvpn: Dict[int, set] = {}
 
+    def _grow_to(self, lpn: int) -> None:
+        """Extend the flat tables so index ``lpn`` is addressable."""
+        size = len(self._ppn)
+        new_size = max(lpn + 1, size * 2, 64)
+        self._ppn.extend(array("q", (UNMAPPED,)) * (new_size - size))
+        self._cold.extend(bytes(new_size - size))
+
     def __len__(self) -> int:
-        return len(self._entries)
+        return self._count
 
     def __contains__(self, lpn: int) -> bool:
-        return lpn in self._entries
+        return 0 <= lpn < len(self._ppn) and self._ppn[lpn] >= 0
 
     def get(self, lpn: int) -> Optional[UmtEntry]:
-        return self._entries.get(lpn)
+        if 0 <= lpn < len(self._ppn):
+            ppn = self._ppn[lpn]
+            if ppn >= 0:
+                return UmtEntry(ppn, bool(self._cold[lpn]))
+        return None
+
+    def ppn_at(self, lpn: int) -> int:
+        """Physical location of ``lpn``, or -1 when absent (hot path)."""
+        if 0 <= lpn < len(self._ppn):
+            return self._ppn[lpn]
+        return UNMAPPED
 
     def set(self, lpn: int, ppn: int, cold: bool = False) -> None:
         """Insert or replace the deferred entry for ``lpn``."""
-        self._entries[lpn] = UmtEntry(ppn, cold)
-        self._by_tvpn.setdefault(lpn // self.entries_per_page, set()).add(lpn)
+        if lpn >= len(self._ppn):
+            self._grow_to(lpn)
+        was_absent = self._ppn[lpn] < 0
+        self._ppn[lpn] = ppn
+        self._cold[lpn] = 1 if cold else 0
+        if was_absent:
+            self._count += 1
+            tvpn = lpn // self.entries_per_page
+            peers = self._by_tvpn.get(tvpn)
+            if peers is None:
+                self._by_tvpn[tvpn] = {lpn}
+            else:
+                peers.add(lpn)
 
     def pop(self, lpn: int) -> Optional[UmtEntry]:
         """Remove and return the entry (None if absent)."""
-        entry = self._entries.pop(lpn, None)
-        if entry is not None:
-            tvpn = lpn // self.entries_per_page
-            peers = self._by_tvpn.get(tvpn)
-            if peers is not None:
-                peers.discard(lpn)
-                if not peers:
-                    del self._by_tvpn[tvpn]
+        if not (0 <= lpn < len(self._ppn)):
+            return None
+        ppn = self._ppn[lpn]
+        if ppn < 0:
+            return None
+        entry = UmtEntry(ppn, bool(self._cold[lpn]))
+        self._ppn[lpn] = UNMAPPED
+        self._cold[lpn] = 0
+        self._count -= 1
+        tvpn = lpn // self.entries_per_page
+        peers = self._by_tvpn.get(tvpn)
+        if peers is not None:
+            peers.discard(lpn)
+            if not peers:
+                del self._by_tvpn[tvpn]
         return entry
+
+    def discard(self, lpn: int) -> None:
+        """Remove the entry for ``lpn`` if present, returning nothing.
+
+        The allocation-free twin of :meth:`pop` for callers that drop the
+        entry (batch commits retire tens of thousands per run).
+        """
+        if not (0 <= lpn < len(self._ppn)) or self._ppn[lpn] < 0:
+            return
+        self._ppn[lpn] = UNMAPPED
+        self._cold[lpn] = 0
+        self._count -= 1
+        tvpn = lpn // self.entries_per_page
+        peers = self._by_tvpn.get(tvpn)
+        if peers is not None:
+            peers.discard(lpn)
+            if not peers:
+                del self._by_tvpn[tvpn]
 
     def lpns_in_tvpn(self, tvpn: int) -> List[int]:
         """All lpns with deferred entries covered by GMT page ``tvpn``."""
         return sorted(self._by_tvpn.get(tvpn, ()))
 
     def items(self) -> Iterator[Tuple[int, UmtEntry]]:
-        return iter(self._entries.items())
+        ppns = self._ppn
+        cold = self._cold
+        for lpn in range(len(ppns)):
+            ppn = ppns[lpn]
+            if ppn >= 0:
+                yield lpn, UmtEntry(ppn, bool(cold[lpn]))
 
     def points_to(self, lpn: int, ppn: int) -> bool:
         """True when the UMT maps ``lpn`` exactly to ``ppn``.
@@ -85,20 +156,21 @@ class UpdateMappingTable:
         the newest copy; GC uses the negation to detect pages superseded by
         later writes (deferred invalidation).
         """
-        entry = self._entries.get(lpn)
-        return entry is not None and entry.ppn == ppn
+        return 0 <= lpn < len(self._ppn) and self._ppn[lpn] == ppn
 
     def ram_bytes(self) -> int:
         """8 bytes per entry (lpn + ppn), the paper's convention."""
-        return len(self._entries) * 2 * MAP_ENTRY_BYTES
+        return self._count * 2 * MAP_ENTRY_BYTES
 
     def snapshot(self) -> Dict[int, Tuple[int, bool]]:
         """Serializable copy for checkpoints."""
-        return {l: (e.ppn, e.cold) for l, e in self._entries.items()}
+        return {lpn: (e.ppn, e.cold) for lpn, e in self.items()}
 
     def restore(self, state: Dict[int, Tuple[int, bool]]) -> None:
         """Replace contents from a checkpoint/recovery scan."""
-        self._entries = {}
+        self._ppn = array("q")
+        self._cold = bytearray()
+        self._count = 0
         self._by_tvpn = {}
         for lpn, (ppn, cold) in state.items():
             self.set(lpn, ppn, cold)

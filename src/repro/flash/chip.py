@@ -20,11 +20,14 @@ from .errors import (
     BadBlockError,
     DeviceOffError,
     PowerLossError,
+    ProgramError,
+    ReadError,
     RedundantInvalidateWarning,
 )
 from .fault import PowerFault
 from .geometry import FlashGeometry
 from .oob import OOBData
+from .page import PageState
 from .stats import FlashStats
 from .timing import SLC_TIMING, TimingModel
 
@@ -64,9 +67,190 @@ class NandFlash:
         self.stats = FlashStats()
         self.fault = PowerFault()
         self._powered = True
-        #: Optional :class:`repro.obs.tracer.Tracer`.  When None (the
-        #: default) every emission site below is a single dead branch.
-        self.tracer = None
+        self._tracer = None
+        self._rebind_fast_paths()
+
+    # ------------------------------------------------------------------
+    # Tracer attachment and fast/slow dispatch
+    # ------------------------------------------------------------------
+    #: Raw-op methods that get an instance-bound fast variant while no
+    #: tracer is attached.
+    _FAST_BOUND = (
+        "read_page", "probe_page", "program_page", "erase_block",
+        "invalidate_page", "block",
+    )
+
+    @property
+    def tracer(self):
+        """Optional :class:`repro.obs.tracer.Tracer` (None by default)."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        self._tracer = value
+        self._rebind_fast_paths()
+
+    def _rebind_fast_paths(self) -> None:
+        """Install (or remove) instance-bound untraced raw-op variants.
+
+        With no tracer attached, each raw operation is a closure that has
+        pre-resolved the geometry scalars, timing constants, block list and
+        stats object, and carries no tracer branch at all - the untraced
+        run does zero observability work.  Attaching a tracer removes the
+        bindings so calls fall through to the traced class methods.
+
+        Subclasses (the flashsan sanitizer overrides these methods) are
+        left untouched: an instance binding would shadow their overrides.
+        """
+        if type(self) is not NandFlash:
+            return
+        d = self.__dict__
+        if self._tracer is not None:
+            for name in self._FAST_BOUND:
+                d.pop(name, None)
+            return
+        geometry = self.geometry
+        total_pages = geometry.total_pages
+        num_blocks = geometry.num_blocks
+        ppb = geometry.pages_per_block
+        check_ppn = geometry.check_ppn
+        check_block = geometry.check_block
+        blocks = self.blocks
+        stats = self.stats
+        on_program = self.fault.on_program
+        on_erase = self.fault.on_erase
+        read_us = self.timing.page_read_us
+        program_us = self.timing.page_program_us
+        erase_us = self.timing.block_erase_us
+        endurance = self.endurance
+        FREE = PageState.FREE
+        VALID = PageState.VALID
+        INVALID = PageState.INVALID
+
+        def read_page(ppn: int) -> Tuple[Any, Optional[OOBData], float]:
+            if not self._powered:
+                raise DeviceOffError("flash device is powered off")
+            if not 0 <= ppn < total_pages:
+                check_ppn(ppn)
+            page = blocks[ppn // ppb].pages[ppn % ppb]
+            if page.state is FREE:
+                raise ReadError(
+                    f"read of unprogrammed page "
+                    f"(block {ppn // ppb}, offset {ppn % ppb})"
+                )
+            stats.page_reads += 1
+            stats.read_us += read_us
+            return page.data, page.oob, read_us
+
+        def probe_page(ppn: int) -> Tuple[Optional[OOBData], float]:
+            if not self._powered:
+                raise DeviceOffError("flash device is powered off")
+            if not 0 <= ppn < total_pages:
+                check_ppn(ppn)
+            page = blocks[ppn // ppb].pages[ppn % ppb]
+            stats.page_reads += 1
+            stats.read_us += read_us
+            if page.state is FREE:
+                return None, read_us
+            return page.oob, read_us
+
+        def program_page(
+            ppn: int, data: Any, oob: Optional[OOBData] = None
+        ) -> float:
+            if not self._powered:
+                raise DeviceOffError("flash device is powered off")
+            if on_program():
+                self._powered = False
+                raise PowerLossError(
+                    f"power lost before programming ppn {ppn}"
+                )
+            if not 0 <= ppn < total_pages:
+                check_ppn(ppn)
+            pbn = ppn // ppb
+            offset = ppn % ppb
+            block = blocks[pbn]
+            if block.is_bad:
+                raise BadBlockError(pbn, block.erase_count)
+            page = block.pages[offset]
+            if page.state is not FREE:
+                raise ProgramError(
+                    f"program of non-free page (block {pbn}, "
+                    f"offset {offset})"
+                )
+            write_ptr = block._write_ptr
+            if offset != write_ptr and self.enforce_sequential:
+                raise ProgramError(
+                    f"non-sequential program in block {pbn}: "
+                    f"offset {offset}, expected {write_ptr}"
+                )
+            page.state = VALID
+            page.data = data
+            page.oob = oob
+            if offset >= write_ptr:
+                block._write_ptr = offset + 1
+            block._valid_count += 1
+            stats.page_programs += 1
+            stats.program_us += program_us
+            return program_us
+
+        def erase_block(pbn: int) -> float:
+            if not self._powered:
+                raise DeviceOffError("flash device is powered off")
+            if on_erase():
+                self._powered = False
+                raise PowerLossError(f"power lost before erasing block {pbn}")
+            if not 0 <= pbn < num_blocks:
+                check_block(pbn)
+            block = blocks[pbn]
+            if block.is_bad:
+                raise BadBlockError(pbn, block.erase_count)
+            stats.block_erases += 1
+            stats.erase_us += erase_us
+            if endurance is not None and block.erase_count >= endurance:
+                block.force_erase()  # contents are gone either way
+                block.mark_bad()
+                raise BadBlockError(pbn, block.erase_count)
+            block.erase()
+            return erase_us
+
+        def invalidate_page(ppn: int) -> None:
+            if not 0 <= ppn < total_pages:
+                check_ppn(ppn)
+            pbn = ppn // ppb
+            offset = ppn % ppb
+            block = blocks[pbn]
+            page = block.pages[offset]
+            state = page.state
+            if state is VALID:
+                page.state = INVALID
+                block._valid_count -= 1
+                return
+            if state is FREE:
+                raise ProgramError(
+                    f"invalidate of free page (block {pbn}, "
+                    f"offset {offset})"
+                )
+            stats.redundant_invalidates += 1
+            warnings.warn(
+                RedundantInvalidateWarning(
+                    f"page (block {pbn}, offset {offset}) invalidated "
+                    "twice - double supersession in FTL bookkeeping"
+                ),
+                stacklevel=2,
+            )
+
+        def block(pbn: int) -> Block:
+            if 0 <= pbn < num_blocks:
+                return blocks[pbn]
+            check_block(pbn)
+            raise AssertionError("unreachable")  # pragma: no cover
+
+        d["read_page"] = read_page
+        d["probe_page"] = probe_page
+        d["program_page"] = program_page
+        d["erase_block"] = erase_block
+        d["invalidate_page"] = invalidate_page
+        d["block"] = block
 
     # ------------------------------------------------------------------
     # Power management (crash simulation)
@@ -105,8 +289,8 @@ class NandFlash:
         latency = self.timing.page_read_us
         self.stats.page_reads += 1
         self.stats.read_us += latency
-        if self.tracer is not None:
-            self.tracer.flash_op(EventType.PAGE_READ, ppn, latency)
+        if self._tracer is not None:
+            self._tracer.flash_op(EventType.PAGE_READ, ppn, latency)
         return data, oob, latency
 
     def read_oob(self, ppn: int) -> Tuple[Optional[OOBData], float]:
@@ -133,8 +317,8 @@ class NandFlash:
         latency = self.timing.page_read_us
         self.stats.page_reads += 1
         self.stats.read_us += latency
-        if self.tracer is not None:
-            self.tracer.flash_op(EventType.PAGE_READ, ppn, latency)
+        if self._tracer is not None:
+            self._tracer.flash_op(EventType.PAGE_READ, ppn, latency)
         if page.is_free:
             return None, latency
         return page.oob, latency
@@ -160,8 +344,8 @@ class NandFlash:
         latency = self.timing.page_program_us
         self.stats.page_programs += 1
         self.stats.program_us += latency
-        if self.tracer is not None:
-            self.tracer.flash_op(
+        if self._tracer is not None:
+            self._tracer.flash_op(
                 EventType.PAGE_PROGRAM, ppn, latency,
                 lpn=oob.lpn if oob is not None else None,
             )
@@ -187,8 +371,8 @@ class NandFlash:
         latency = self.timing.block_erase_us
         self.stats.block_erases += 1
         self.stats.erase_us += latency
-        if self.tracer is not None:
-            self.tracer.flash_op(EventType.BLOCK_ERASE, pbn, latency)
+        if self._tracer is not None:
+            self._tracer.flash_op(EventType.BLOCK_ERASE, pbn, latency)
         if self.endurance is not None and block.erase_count >= self.endurance:
             block.force_erase()  # contents are gone either way
             block.mark_bad()

@@ -10,7 +10,7 @@ mapping table.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import namedtuple
 from enum import Enum
 
 class PageKind(Enum):
@@ -21,9 +21,17 @@ class PageKind(Enum):
     CHECKPOINT = "checkpoint"  #: serialized GTD / UMT checkpoint state
 
 
-@dataclass(frozen=True)
-class OOBData:
+_OOBBase = namedtuple("_OOBBase", ("lpn", "seq", "kind", "cold"))
+
+
+class OOBData(_OOBBase):
     """Spare-area metadata written atomically with a page program.
+
+    One OOBData is allocated per page program - a per-op hot path - so it
+    is a validated named tuple rather than a frozen dataclass: tuple
+    construction is a single C call, while a frozen dataclass pays an
+    ``object.__setattr__`` per field.  Immutability (attribute assignment
+    raises AttributeError) and field validation are preserved.
 
     Attributes:
         lpn: For ``DATA`` pages, the logical page stored here.  For
@@ -37,16 +45,20 @@ class OOBData:
             recovery can tell update-area pages from cold-area pages.
     """
 
-    lpn: int
-    seq: int
-    kind: PageKind = PageKind.DATA
-    cold: bool = False
+    __slots__ = ()
 
-    def __post_init__(self) -> None:
-        if self.lpn < 0:
+    def __new__(
+        cls,
+        lpn: int,
+        seq: int,
+        kind: PageKind = PageKind.DATA,
+        cold: bool = False,
+    ) -> "OOBData":
+        if lpn < 0:
             raise ValueError("lpn must be non-negative")
-        if self.seq < 0:
+        if seq < 0:
             raise ValueError("seq must be non-negative")
+        return tuple.__new__(cls, (lpn, seq, kind, cold))
 
 
 class SequenceCounter:

@@ -2,28 +2,52 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List
 
 
-@dataclass
 class FlashStats:
     """Raw-device operation counters.
 
     ``*_us`` fields accumulate the simulated time spent in each operation
     class so callers can break total device time into read/program/erase
     components without re-multiplying counts by latencies.
+
+    A plain ``__slots__`` class rather than a dataclass: the chip bumps
+    these counters on every raw operation, and slotted attribute access
+    keeps that per-op cost minimal.
     """
 
-    page_reads: int = 0
-    page_programs: int = 0
-    block_erases: int = 0
-    read_us: float = 0.0
-    program_us: float = 0.0
-    erase_us: float = 0.0
-    #: Invalidations of already-stale pages (double supersession in FTL
-    #: bookkeeping); see NandFlash.invalidate_page.  Should stay 0.
-    redundant_invalidates: int = 0
+    _FIELDS = (
+        "page_reads",
+        "page_programs",
+        "block_erases",
+        "read_us",
+        "program_us",
+        "erase_us",
+        "redundant_invalidates",
+    )
+
+    __slots__ = _FIELDS
+
+    def __init__(
+        self,
+        page_reads: int = 0,
+        page_programs: int = 0,
+        block_erases: int = 0,
+        read_us: float = 0.0,
+        program_us: float = 0.0,
+        erase_us: float = 0.0,
+        redundant_invalidates: int = 0,
+    ):
+        self.page_reads = page_reads
+        self.page_programs = page_programs
+        self.block_erases = block_erases
+        self.read_us = read_us
+        self.program_us = program_us
+        self.erase_us = erase_us
+        #: Invalidations of already-stale pages (double supersession in FTL
+        #: bookkeeping); see NandFlash.invalidate_page.  Should stay 0.
+        self.redundant_invalidates = redundant_invalidates
 
     @property
     def total_ops(self) -> int:
@@ -69,6 +93,20 @@ class FlashStats:
             "erase_us": self.erase_us,
             "redundant_invalidates": self.redundant_invalidates,
         }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FlashStats):
+            return NotImplemented
+        return all(
+            getattr(self, name) == getattr(other, name)
+            for name in self._FIELDS
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(
+            f"{name}={getattr(self, name)!r}" for name in self._FIELDS
+        )
+        return f"FlashStats({inner})"
 
 
 def wear_summary(erase_counts: List[int]) -> Dict[str, float]:

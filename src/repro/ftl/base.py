@@ -10,7 +10,6 @@ and aggregates response times.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
 from typing import Any
 
 from ..flash.chip import NandFlash
@@ -18,9 +17,12 @@ from ..obs.tracer import Tracer
 from .stats import FtlStats
 
 
-@dataclass(frozen=True)
 class HostResult:
     """Outcome of one page-granular host operation.
+
+    One is allocated per host page operation, so this is a slotted plain
+    class: frozen-dataclass construction costs an ``object.__setattr__``
+    per field, which is measurable at millions of ops per run.
 
     Attributes:
         latency_us: Simulated time the FTL spent serving the operation
@@ -30,8 +32,14 @@ class HostResult:
             never written).  For writes, None.
     """
 
-    latency_us: float
-    data: Any = None
+    __slots__ = ("latency_us", "data")
+
+    def __init__(self, latency_us: float, data: Any = None):
+        self.latency_us = latency_us
+        self.data = data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HostResult(latency_us={self.latency_us!r}, data={self.data!r})"
 
 
 class FlashTranslationLayer(ABC):

@@ -27,6 +27,7 @@ from ..flash.chip import NandFlash
 from ..flash.geometry import MAP_ENTRY_BYTES
 from ..flash.oob import OOBData, SequenceCounter
 from ..obs.events import Cause, EventType
+from ..perf.maptable import MapTable
 from .base import UNMAPPED_READ_US, FlashTranslationLayer, HostResult
 from .pool import BlockPool
 
@@ -73,7 +74,7 @@ class BastFTL(FlashTranslationLayer):
                 f"({self.num_lbns} data + {num_log_blocks} log + 2 spare)"
             )
         self.num_log_blocks = num_log_blocks
-        self._block_map: Dict[int, int] = {}
+        self._block_map = MapTable(self.num_lbns)
         self._logs: "OrderedDict[int, _LogBlock]" = OrderedDict()  # LRU
         self._pool = BlockPool(range(flash.geometry.num_blocks))
         self._seq = SequenceCounter()

@@ -24,6 +24,7 @@ from ..flash.chip import NandFlash
 from ..flash.geometry import MAP_ENTRY_BYTES
 from ..flash.oob import OOBData, PageKind, SequenceCounter
 from ..obs.events import Cause, EventType
+from ..perf.maptable import MapTable
 from .base import UNMAPPED_READ_US, FlashTranslationLayer, HostResult
 from .gc_policy import select_greedy
 from .pool import BlockPool, OutOfBlocksError
@@ -80,8 +81,12 @@ class DftlFTL(FlashTranslationLayer):
         self.num_tvpns = (
             logical_pages + self.entries_per_page - 1
         ) // self.entries_per_page
-        self._gtd: List[Optional[int]] = [None] * self.num_tvpns
-        self._cmt: "OrderedDict[int, _CmtEntry]" = OrderedDict()
+        self._gtd = MapTable(self.num_tvpns)
+        # The CMT is a bounded LRU keyed by lpn with per-entry dirty bits;
+        # it is sparse by design (capacity << logical space), so a flat
+        # table would waste the RAM the scheme exists to save.
+        self._cmt: "OrderedDict[int, _CmtEntry]" = (
+            OrderedDict())  # ftlint: disable=FTL007
         self._pool = BlockPool(range(flash.geometry.num_blocks))
         self._data_blocks: Set[int] = set()
         self._trans_blocks: Set[int] = set()
@@ -89,6 +94,7 @@ class DftlFTL(FlashTranslationLayer):
         self._gc_active: Optional[int] = None
         self._trans_active: Optional[int] = None
         self._in_gc = False
+        self._pages_per_block = flash.geometry.pages_per_block
         self._seq = SequenceCounter()
 
     # ------------------------------------------------------------------
@@ -104,7 +110,8 @@ class DftlFTL(FlashTranslationLayer):
         return HostResult(latency + read_lat, data)
 
     def write(self, lpn: int, data: Any = None) -> HostResult:
-        self._check_lpn(lpn)
+        if not 0 <= lpn < self.logical_pages:
+            self._check_lpn(lpn)
         self.stats.host_writes += 1
         _, latency = self._lookup(lpn)
         latency += self._ensure_data_active()
@@ -112,9 +119,11 @@ class DftlFTL(FlashTranslationLayer):
         # copy meanwhile (the CMT entry is kept current by GC).
         entry = self._cmt[lpn]  # present: _lookup just inserted/refreshed it
         old_ppn = entry.ppn
-        ppn = self._frontier(self._data_active)
+        active = self._data_active
+        ppn = active * self._pages_per_block \
+            + self.flash.blocks[active].write_ptr
         latency += self.flash.program_page(
-            ppn, data, OOBData(lpn=lpn, seq=self._seq.next())
+            ppn, data, OOBData(lpn, self._seq.next())
         )
         if old_ppn is not None:
             self.flash.invalidate_page(old_ppn)
@@ -233,18 +242,18 @@ class DftlFTL(FlashTranslationLayer):
     # Space management
     # ------------------------------------------------------------------
     def _frontier(self, pbn: int) -> int:
-        block = self.flash.block(pbn)
-        return self.flash.geometry.ppn_of(pbn, block.write_ptr)
+        return pbn * self._pages_per_block \
+            + self.flash.blocks[pbn]._write_ptr
 
     def _ensure_data_active(self) -> float:
-        latency = 0.0
-        if self._data_active is not None and \
-                self.flash.block(self._data_active).is_full:
-            self._data_blocks.add(self._data_active)
+        active = self._data_active
+        if active is not None:
+            if self.flash.blocks[active]._write_ptr < self._pages_per_block:
+                return 0.0
+            self._data_blocks.add(active)
             self._data_active = None
-        if self._data_active is None:
-            latency += self._reclaim_if_needed()
-            self._data_active = self._pool.allocate()
+        latency = self._reclaim_if_needed()
+        self._data_active = self._pool.allocate()
         return latency
 
     def _ensure_trans_active(self) -> float:
@@ -254,6 +263,10 @@ class DftlFTL(FlashTranslationLayer):
         running, where the free-threshold reserve covers the allocation
         (guarding against unbounded recursion).
         """
+        active = self._trans_active
+        if active is not None and \
+                self.flash.blocks[active]._write_ptr < self._pages_per_block:
+            return 0.0
         latency = 0.0
         while self._trans_active is None or \
                 self.flash.block(self._trans_active).is_full:
@@ -271,12 +284,12 @@ class DftlFTL(FlashTranslationLayer):
         return latency
 
     def _gc_destination(self) -> float:
-        if self._gc_active is not None and \
-                self.flash.block(self._gc_active).is_full:
-            self._data_blocks.add(self._gc_active)
-            self._gc_active = None
-        if self._gc_active is None:
-            self._gc_active = self._pool.allocate()
+        active = self._gc_active
+        if active is not None:
+            if self.flash.blocks[active]._write_ptr < self._pages_per_block:
+                return 0.0
+            self._data_blocks.add(active)
+        self._gc_active = self._pool.allocate()
         return 0.0
 
     def _reclaim_if_needed(self) -> float:
@@ -286,8 +299,9 @@ class DftlFTL(FlashTranslationLayer):
         return latency
 
     def _collect_one(self) -> float:
-        candidates = [self.flash.block(b) for b in self._data_blocks]
-        candidates += [self.flash.block(b) for b in self._trans_blocks]
+        blocks = self.flash.blocks
+        candidates = [blocks[b] for b in self._data_blocks]
+        candidates += [blocks[b] for b in self._trans_blocks]
         victim = select_greedy(candidates)
         if victim is None:
             raise OutOfBlocksError("DFTL GC found no victim")
@@ -322,29 +336,38 @@ class DftlFTL(FlashTranslationLayer):
     def _collect_trans_block(self, pbn: int) -> float:
         """Relocate a victim's valid translation pages."""
         latency = 0.0
-        geometry = self.flash.geometry
-        block = self.flash.block(pbn)
+        flash = self.flash
+        blocks = flash.blocks
+        read_page = flash.read_page
+        program_page = flash.program_page
+        invalidate_page = flash.invalidate_page
+        seq_next = self._seq.next
+        stats = self.stats
+        tracer = self._tracer
+        ppb = self._pages_per_block
+        base = pbn * ppb
+        block = blocks[pbn]
         for offset in list(block.valid_offsets()):
-            src = geometry.ppn_of(pbn, offset)
-            content, oob, read_lat = self.flash.read_page(src)
+            src = base + offset
+            content, oob, read_lat = read_page(src)
             latency += read_lat
-            self.stats.map_reads += 1
-            if self._tracer is not None:
-                self._tracer.emit(EventType.MAP_READ, lpn=oob.lpn, ppn=src)
+            stats.map_reads += 1
+            if tracer is not None:
+                tracer.emit(EventType.MAP_READ, lpn=oob.lpn, ppn=src)
             latency += self._ensure_trans_active()
-            dst = self._frontier(self._trans_active)
-            latency += self.flash.program_page(
+            trans_active = self._trans_active
+            dst = trans_active * ppb + blocks[trans_active]._write_ptr
+            latency += program_page(
                 dst,
                 content,
-                OOBData(lpn=oob.lpn, seq=self._seq.next(),
-                        kind=PageKind.MAPPING),
+                OOBData(lpn=oob.lpn, seq=seq_next(), kind=PageKind.MAPPING),
             )
-            self.stats.map_writes += 1
-            if self._tracer is not None:
-                self._tracer.emit(EventType.MAP_WRITE, lpn=oob.lpn, ppn=dst)
-            self.stats.gc_page_copies += 1
+            stats.map_writes += 1
+            if tracer is not None:
+                tracer.emit(EventType.MAP_WRITE, lpn=oob.lpn, ppn=dst)
+            stats.gc_page_copies += 1
             self._gtd[oob.lpn] = dst
-            self.flash.invalidate_page(src)
+            invalidate_page(src)
         return latency
 
     def _collect_data_block(self, pbn: int) -> float:
@@ -355,21 +378,32 @@ class DftlFTL(FlashTranslationLayer):
         page.
         """
         latency = 0.0
-        geometry = self.flash.geometry
-        block = self.flash.block(pbn)
+        flash = self.flash
+        blocks = flash.blocks
+        read_page = flash.read_page
+        program_page = flash.program_page
+        invalidate_page = flash.invalidate_page
+        seq_next = self._seq.next
+        stats = self.stats
+        ppb = self._pages_per_block
+        entries_per_page = self.entries_per_page
+        base = pbn * ppb
+        block = blocks[pbn]
         moved: Dict[int, List[Tuple[int, int]]] = {}  # tvpn -> [(lpn, dst)]
         for offset in list(block.valid_offsets()):
-            src = geometry.ppn_of(pbn, offset)
-            data, oob, read_lat = self.flash.read_page(src)
+            src = base + offset
+            data, oob, read_lat = read_page(src)
             latency += read_lat
-            latency += self._gc_destination()
-            dst = self._frontier(self._gc_active)
-            latency += self.flash.program_page(
-                dst, data, OOBData(lpn=oob.lpn, seq=self._seq.next())
-            )
-            self.flash.invalidate_page(src)
-            self.stats.gc_page_copies += 1
-            moved.setdefault(self._tvpn_of(oob.lpn), []).append((oob.lpn, dst))
+            gc_active = self._gc_active
+            if gc_active is None or blocks[gc_active]._write_ptr >= ppb:
+                latency += self._gc_destination()
+                gc_active = self._gc_active
+            lpn = oob.lpn
+            dst = gc_active * ppb + blocks[gc_active]._write_ptr
+            latency += program_page(dst, data, OOBData(lpn, seq_next()))
+            invalidate_page(src)
+            stats.gc_page_copies += 1
+            moved.setdefault(lpn // entries_per_page, []).append((lpn, dst))
         for tvpn, pairs in moved.items():
             content, read_lat = self._load_tpage(tvpn)
             latency += read_lat

@@ -20,6 +20,7 @@ from ..flash.chip import NandFlash
 from ..flash.geometry import MAP_ENTRY_BYTES
 from ..flash.oob import OOBData, SequenceCounter
 from ..obs.events import Cause, EventType
+from ..perf.maptable import MapTable
 from .base import UNMAPPED_READ_US, FlashTranslationLayer, HostResult
 from .pool import BlockPool
 
@@ -64,10 +65,10 @@ class FastFTL(FlashTranslationLayer):
                 f"device too small: FAST needs >= {required} blocks"
             )
         self.num_rw_log_blocks = num_rw_log_blocks
-        self._block_map: Dict[int, int] = {}
+        self._block_map = MapTable(self.num_lbns)
         self._sw: Optional[_SWLog] = None
         self._rw_blocks: List[int] = []   # allocation (age) order
-        self._rw_map: Dict[int, int] = {}  # lpn -> ppn of latest RW copy
+        self._rw_map = MapTable(logical_pages)  # lpn -> latest RW copy
         self._pool = BlockPool(range(flash.geometry.num_blocks))
         self._seq = SequenceCounter()
 
@@ -117,7 +118,7 @@ class FastFTL(FlashTranslationLayer):
         """Block map + fully-associative RW page map (8 bytes per entry)."""
         return (
             self.num_lbns * MAP_ENTRY_BYTES
-            + len(self._rw_map) * 2 * MAP_ENTRY_BYTES
+            + self._rw_map.mapped_count() * 2 * MAP_ENTRY_BYTES
             + (self.num_rw_log_blocks + 1) * MAP_ENTRY_BYTES
         )
 

@@ -19,12 +19,16 @@ def select_greedy(candidates: Iterable[Block]) -> Optional[Block]:
     when there are no candidates.
     """
     best: Optional[Block] = None
+    best_valid = 0
     for block in candidates:
-        if best is None or (block.valid_count, block.index) < (
-            best.valid_count,
-            best.index,
+        valid = block._valid_count
+        if (
+            best is None
+            or valid < best_valid
+            or (valid == best_valid and block.index < best.index)
         ):
             best = block
+            best_valid = valid
     return best
 
 

@@ -25,6 +25,7 @@ from ..flash.chip import NandFlash
 from ..flash.geometry import MAP_ENTRY_BYTES
 from ..flash.oob import OOBData, SequenceCounter
 from ..obs.events import Cause, EventType
+from ..perf.maptable import MapTable
 from .base import UNMAPPED_READ_US, FlashTranslationLayer, HostResult
 from .pool import BlockPool
 
@@ -85,11 +86,11 @@ class LastFTL(FlashTranslationLayer):
         self.num_hot_blocks = num_hot_blocks
         self.num_cold_blocks = num_cold_blocks
         self.hot_window = hot_window
-        self._block_map: Dict[int, int] = {}
+        self._block_map = MapTable(self.num_lbns)
         self._seq_logs: "OrderedDict[int, _SeqLog]" = OrderedDict()
         self._hot_blocks: List[int] = []   # age order, current is last
         self._cold_blocks: List[int] = []
-        self._rw_map: Dict[int, int] = {}  # lpn -> latest random-log ppn
+        self._rw_map = MapTable(logical_pages)  # lpn -> latest random-log ppn
         self._recent: "OrderedDict[int, None]" = OrderedDict()  # hot filter
         self._pool = BlockPool(range(flash.geometry.num_blocks))
         self._seq = SequenceCounter()
@@ -139,7 +140,7 @@ class LastFTL(FlashTranslationLayer):
     def ram_bytes(self) -> int:
         return (
             self.num_lbns * MAP_ENTRY_BYTES
-            + len(self._rw_map) * 2 * MAP_ENTRY_BYTES
+            + self._rw_map.mapped_count() * 2 * MAP_ENTRY_BYTES
             + self.hot_window * MAP_ENTRY_BYTES
             + (self.num_seq_log_blocks + self.num_hot_blocks
                + self.num_cold_blocks) * MAP_ENTRY_BYTES

@@ -12,12 +12,13 @@ exactly what makes it impractical and motivates DFTL and LazyFTL.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Set
+from typing import Any, Optional, Set
 
 from ..flash.chip import NandFlash
 from ..flash.geometry import MAP_ENTRY_BYTES
 from ..flash.oob import OOBData, SequenceCounter
 from ..obs.events import Cause, EventType
+from ..perf.maptable import MapTable
 from .base import UNMAPPED_READ_US, FlashTranslationLayer, HostResult
 from .gc_policy import select_greedy
 from .pool import BlockPool, OutOfBlocksError
@@ -53,7 +54,8 @@ class PageFTL(FlashTranslationLayer):
                 f"{logical_pages} logical pages plus GC slack"
             )
         self.gc_free_threshold = gc_free_threshold
-        self._map: List[Optional[int]] = [None] * logical_pages
+        self._map = MapTable(logical_pages)
+        self._pages_per_block = flash.geometry.pages_per_block
         self._pool = BlockPool(range(flash.geometry.num_blocks))
         self._data_blocks: Set[int] = set()
         self._active: Optional[int] = None
@@ -64,26 +66,31 @@ class PageFTL(FlashTranslationLayer):
     # Host interface
     # ------------------------------------------------------------------
     def read(self, lpn: int) -> HostResult:
-        self._check_lpn(lpn)
+        if not 0 <= lpn < self.logical_pages:
+            self._check_lpn(lpn)
         self.stats.host_reads += 1
-        ppn = self._map[lpn]
-        if ppn is None:
+        ppn = self._map.raw[lpn]
+        if ppn < 0:
             return HostResult(UNMAPPED_READ_US)
         data, _, latency = self.flash.read_page(ppn)
         return HostResult(latency, data)
 
     def write(self, lpn: int, data: Any = None) -> HostResult:
-        self._check_lpn(lpn)
+        if not 0 <= lpn < self.logical_pages:
+            self._check_lpn(lpn)
         self.stats.host_writes += 1
         latency = self._ensure_active()
-        ppn = self._frontier(self._active)
+        active = self._active
+        ppn = active * self._pages_per_block \
+            + self.flash.blocks[active].write_ptr
         latency += self.flash.program_page(
-            ppn, data, OOBData(lpn=lpn, seq=self._seq.next())
+            ppn, data, OOBData(lpn, self._seq.next())
         )
-        old = self._map[lpn]
-        if old is not None:
+        map_raw = self._map.raw
+        old = map_raw[lpn]
+        if old >= 0:
             self.flash.invalidate_page(old)
-        self._map[lpn] = ppn
+        map_raw[lpn] = ppn
         return HostResult(latency)
 
     def ram_bytes(self) -> int:
@@ -143,7 +150,7 @@ class PageFTL(FlashTranslationLayer):
                 latency += self.flash.program_page(
                     dst, data, OOBData(lpn=oob.lpn, seq=self._seq.next())
                 )
-                self._map[oob.lpn] = dst
+                self._map.raw[oob.lpn] = dst
                 self.flash.invalidate_page(src)
                 self.stats.gc_page_copies += 1
             latency += self.flash.erase_block(victim.index)

@@ -1,0 +1,95 @@
+"""Golden-stats capture: exact engine digests for regression testing.
+
+The PR-3 hot-path overhaul (array-backed mapping tables, slotted flash
+state, pre-bound fast/slow tracer dispatch) must not change a single
+modeled statistic: erase counts, merge counts, response-time
+distributions, RAM accounting - everything an experiment reports has to
+stay bit-identical, because the figures in EXPERIMENTS.md were produced
+by the pre-overhaul engine.
+
+This module defines the canonical *golden workload* (a small device, two
+deterministic traces, every scheme) and an :func:`engine_digest` that
+flattens a :class:`~repro.sim.simulator.SimulationResult` into plain
+JSON-serialisable data.  ``tools/gen_golden_stats.py`` regenerates the
+committed snapshot (``tests/golden/engine_stats.json``) and
+``tests/test_golden_stats.py`` asserts the current engine still produces
+exactly the committed numbers.  Floats survive the JSON round-trip
+losslessly (``repr`` round-trips IEEE-754 doubles), so ``==`` on the
+loaded digest is a bit-exact comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from ..traces.synthetic import hot_cold, uniform_random
+from .factory import SCHEMES
+from .runner import DeviceSpec, run_scheme
+from .simulator import SimulationResult
+
+#: Small device so GC/merges churn within a few thousand operations.
+#: Mirrors the ``tools/check_all.py`` trace-smoke geometry.
+GOLDEN_DEVICE = DeviceSpec(
+    num_blocks=96,
+    pages_per_block=16,
+    page_size=512,
+    logical_fraction=0.7,
+)
+
+
+def golden_traces():
+    """The two deterministic traces every scheme replays for the digest.
+
+    Uniform random writes are the merge/GC torture case; the hot/cold mix
+    exercises read paths, skew handling and LazyFTL's cold-area logic.
+    """
+    pages = GOLDEN_DEVICE.logical_pages
+    return [
+        uniform_random(
+            1500, pages, write_ratio=0.8, seed=11, name="golden-random",
+        ),
+        hot_cold(
+            1200, pages, write_ratio=0.7, hot_fraction=0.2,
+            hot_probability=0.8, seed=7, name="golden-hotcold",
+        ),
+    ]
+
+
+def engine_digest(result: SimulationResult) -> Dict[str, object]:
+    """Flatten a result into the exact-comparable statistics dictionary.
+
+    Everything here is *modeled* state (simulated microseconds, counter
+    values, RAM-model bytes), so it is invariant under pure-performance
+    refactors of the engine internals.
+    """
+    return {
+        "scheme": result.scheme,
+        "trace": result.trace_name,
+        "requests": result.requests,
+        "page_ops": result.page_ops,
+        "flash": result.flash.as_dict(),
+        "ftl": result.ftl_stats.as_dict(),
+        "responses": result.responses.summary(),
+        "wear": dict(result.wear),
+        "ram_bytes": result.ram_bytes,
+        "device_busy_us": result.device_busy_us,
+    }
+
+
+def collect_golden_digests(
+    schemes: Sequence[str] = SCHEMES,
+) -> Dict[str, Dict[str, object]]:
+    """Run the golden workload and return ``"scheme/trace" -> digest``.
+
+    Steady-state preconditioning is part of the workload: it drives every
+    scheme's garbage collector before measurement, which is where the
+    schemes differ most (and where a refactor would most likely slip).
+    """
+    digests: Dict[str, Dict[str, object]] = {}
+    for trace in golden_traces():
+        for scheme in schemes:
+            result = run_scheme(
+                scheme, trace, device=GOLDEN_DEVICE, precondition="steady",
+            )
+            digests[f"{scheme}/{trace.name}"] = engine_digest(result)
+    return digests

@@ -1,8 +1,14 @@
-"""Latency distributions and response-time statistics."""
+"""Latency distributions and response-time statistics.
+
+Samples accumulate into ``array('d')`` buffers: one machine double per
+sample instead of a boxed float object, which matters when every replayed
+request records into three distributions (overall + reads/writes).
+"""
 
 from __future__ import annotations
 
 import math
+from array import array
 from typing import Dict, List
 
 
@@ -13,22 +19,26 @@ class LatencyDistribution:
     hundred thousand requests), so percentiles are exact.
     """
 
+    __slots__ = ("_samples", "_total", "_sorted", "_min", "_max",
+                 "sorts_performed")
+
     def __init__(self) -> None:
-        self._samples: List[float] = []
+        self._samples: "array[float]" = array("d")
         self._total = 0.0
         self._sorted = True
         self._min = math.inf
         self._max = 0.0
-        #: How many times the sample list was actually sorted; queries
+        #: How many times the sample buffer was actually sorted; queries
         #: between additions must not grow this (regression-tested).
         self.sorts_performed = 0
 
     def add(self, value: float) -> None:
         if value < 0:
             raise ValueError("latency samples must be non-negative")
-        if self._samples and value < self._samples[-1]:
+        samples = self._samples
+        if samples and value < samples[-1]:
             self._sorted = False
-        self._samples.append(value)
+        samples.append(value)
         self._total += value
         if value < self._min:
             self._min = value
@@ -95,15 +105,18 @@ class LatencyDistribution:
 
     def _ensure_sorted(self) -> None:
         """Sort once, memoize: repeated percentile/CDF queries between
-        additions reuse the sorted list instead of re-sorting."""
+        additions reuse the sorted buffer instead of re-sorting."""
         if not self._sorted:
-            self._samples.sort()
+            # array('d') has no in-place sort; round-trip through a list.
+            self._samples = array("d", sorted(self._samples))
             self._sorted = True
             self.sorts_performed += 1
 
 
 class ResponseStats:
     """Per-operation-type response-time distributions."""
+
+    __slots__ = ("overall", "reads", "writes")
 
     def __init__(self) -> None:
         self.overall = LatencyDistribution()

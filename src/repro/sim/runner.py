@@ -155,6 +155,7 @@ def compare_schemes(
     options: Optional[Dict[str, Dict[str, Any]]] = None,
     tracer: Optional[Tracer] = None,
     sanitize: bool = False,
+    jobs: int = 1,
 ) -> Dict[str, SimulationResult]:
     """Run several schemes over the same trace; returns scheme -> result.
 
@@ -162,7 +163,33 @@ def compare_schemes(
     name), so one JSONL file holds the whole comparison.  With
     ``sanitize``, every scheme runs under flashsan (see
     :func:`run_scheme`).
+
+    With ``jobs > 1`` the schemes fan out over a process pool (see
+    :mod:`repro.perf.sweep`); each worker rebuilds its device and FTL, so
+    results are identical to a serial run.  A tracer requires ``jobs=1``:
+    its event stream cannot cross process boundaries.
     """
+    if jobs > 1:
+        if tracer is not None:
+            raise ValueError(
+                "compare_schemes with a tracer requires jobs=1: the event "
+                "stream cannot cross process boundaries"
+            )
+        from ..perf.sweep import SweepCell, run_sweep
+
+        cells = [
+            SweepCell(
+                name=scheme,
+                scheme=scheme,
+                trace=trace,
+                device=device,
+                precondition=precondition,
+                options={"sanitize": sanitize,
+                         **(options or {}).get(scheme, {})},
+            )
+            for scheme in schemes
+        ]
+        return dict(zip(schemes, run_sweep(cells, jobs=jobs)))
     results: Dict[str, SimulationResult] = {}
     for scheme in schemes:
         extra = (options or {}).get(scheme, {})

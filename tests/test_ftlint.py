@@ -273,6 +273,89 @@ class TestFTL006MutableDefaults:
         """, scope=None) == []
 
 
+class TestFTL007DictMaps:
+    def test_dict_literal_map_flagged(self):
+        assert rule_ids("""
+            class F:
+                def __init__(self):
+                    self._page_map = {}
+        """, scope="ftl") == ["FTL007"]
+
+    def test_ordereddict_map_flagged_in_core(self):
+        assert rule_ids("""
+            from collections import OrderedDict
+            class F:
+                def __init__(self):
+                    self._gtd = OrderedDict()
+        """, scope="core") == ["FTL007"]
+
+    def test_defaultdict_and_annassign_flagged(self):
+        assert "FTL007" in rule_ids("""
+            import collections
+            class F:
+                def __init__(self):
+                    self._cmt: dict = collections.defaultdict(int)
+        """, scope="ftl")
+
+    def test_dict_comprehension_flagged(self):
+        assert "FTL007" in rule_ids("""
+            class F:
+                def __init__(self, n):
+                    self.l2p_map = {i: None for i in range(n)}
+        """, scope="core")
+
+    def test_maptable_assignment_ok(self):
+        assert rule_ids("""
+            from repro.perf.maptable import MapTable
+            class F:
+                def __init__(self, n):
+                    self._map = MapTable(n)
+        """, scope="ftl") == []
+
+    def test_non_map_dict_attribute_ok(self):
+        assert rule_ids("""
+            class F:
+                def __init__(self):
+                    self._stats_by_cause = {}
+        """, scope="ftl") == []
+
+    def test_local_dict_named_map_ok(self):
+        # Only *attributes* are translation state; locals are scratch.
+        assert rule_ids("""
+            def group(pairs):
+                tvpn_map = {}
+                return tvpn_map
+        """, scope="core") == []
+
+    def test_outside_hot_scopes_ok(self):
+        src = """
+            class F:
+                def __init__(self):
+                    self._page_map = {}
+        """
+        assert rule_ids(src, scope="analysis") == []
+        assert rule_ids(src, scope=None) == []
+
+    def test_per_line_disable(self):
+        assert rule_ids("""
+            class F:
+                def __init__(self):
+                    self._cmt = {}  # ftlint: disable=FTL007
+        """, scope="ftl") == []
+
+    def test_disable_works_on_wrapped_value_line(self):
+        # The violation is reported on the dict construction, so the
+        # allowlist comment lives there when the assignment wraps (the
+        # DFTL CMT pattern).
+        assert rule_ids("""
+            from collections import OrderedDict
+            class F:
+                def __init__(self):
+                    self._cmt = (
+                        OrderedDict())  # ftlint: disable=FTL007
+        """, scope="ftl") == []
+
+
 class TestEngine:
     def test_inline_suppression_bare(self):
         assert rule_ids("""
@@ -311,7 +394,7 @@ class TestEngine:
 
     def test_every_rule_has_id_and_message(self):
         ids = [rule.RULE_ID for rule in ALL_RULES]
-        assert len(ids) == len(set(ids)) == 6
+        assert len(ids) == len(set(ids)) == 7
         assert all(rule.MESSAGE for rule in ALL_RULES)
 
 

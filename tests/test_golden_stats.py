@@ -1,0 +1,75 @@
+"""Golden-stats regression gate: the engine's modeled statistics are
+bit-identical to the committed pre-overhaul snapshot.
+
+The PR-3 hot-path overhaul (array-backed maps, slotted flash state,
+pre-bound untraced fast paths) is a pure performance change: every
+simulated number - erases, merges, GC copies, response-time
+distributions, RAM model, device-busy time - must come out exactly as the
+seed engine produced it.  ``tests/golden/engine_stats.json`` was captured
+with ``tools/gen_golden_stats.py``; this test replays the same golden
+workload live and compares digest-by-digest with plain ``==`` (floats
+survive the JSON round-trip losslessly, so this is a bit-exact check).
+
+If a *behavioural* change is ever intended (new scheme semantics, a
+timing-model fix), regenerate the snapshot with
+``PYTHONPATH=src python tools/gen_golden_stats.py`` and explain the diff
+in the commit message.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.sim.factory import SCHEMES
+from repro.sim.golden import (
+    GOLDEN_DEVICE,
+    collect_golden_digests,
+    engine_digest,
+    golden_traces,
+)
+from repro.sim.runner import run_scheme
+
+GOLDEN_PATH = (
+    pathlib.Path(__file__).resolve().parent / "golden" / "engine_stats.json"
+)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def test_snapshot_covers_every_scheme_and_trace(golden):
+    expected = {
+        f"{scheme}/{trace.name}"
+        for trace in golden_traces()
+        for scheme in SCHEMES
+    }
+    assert set(golden) == expected
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_scheme_stats_bit_identical(golden, scheme):
+    """Each scheme's digests match the snapshot exactly, per trace."""
+    for trace in golden_traces():
+        key = f"{scheme}/{trace.name}"
+        live = engine_digest(run_scheme(
+            scheme, trace, device=GOLDEN_DEVICE, precondition="steady",
+        ))
+        assert live == golden[key], (
+            f"{key}: engine statistics drifted from the golden snapshot - "
+            "a hot-path change altered modeled behaviour"
+        )
+
+
+def test_collector_key_shape(golden):
+    """The bulk collector used by the regen tool emits the same keys.
+
+    (Digest equality is covered per scheme above; rerunning the whole
+    workload a second time here would only double the suite's cost.)
+    """
+    sample = collect_golden_digests(schemes=("ideal",))
+    assert set(sample) <= set(golden)
+    for key, digest in sample.items():
+        assert digest == golden[key]

@@ -1,0 +1,157 @@
+"""Tests for repro.perf.maptable: MapTable and the explicit LruCache.
+
+MapTable must behave exactly like the ``List[Optional[int]]`` /
+``Dict[int, int]`` hybrids it replaced (the -1 sentinel never leaks), and
+LruCache must implement true LRU semantics - the eviction-order test here
+is the regression gate for the "move_to_end only on hit" optimisation.
+"""
+
+import pytest
+
+from repro.perf.maptable import UNMAPPED, LruCache, MapTable
+
+
+class TestMapTable:
+    def test_starts_unmapped(self):
+        table = MapTable(8)
+        assert len(table) == 8
+        assert table.mapped_count() == 0
+        assert table[3] is None
+        assert table.get(3) is None
+        assert 3 not in table
+
+    def test_set_get_roundtrip(self):
+        table = MapTable(8)
+        table[2] = 17
+        assert table[2] == 17
+        assert table.get(2) == 17
+        assert 2 in table
+        assert table.mapped_count() == 1
+        assert table.raw[2] == 17
+
+    def test_zero_is_a_valid_mapping(self):
+        table = MapTable(4)
+        table[1] = 0
+        assert table[1] == 0
+        assert 1 in table
+
+    def test_assigning_none_unmaps(self):
+        table = MapTable(4)
+        table[1] = 9
+        table[1] = None
+        assert table[1] is None
+        assert table.raw[1] == UNMAPPED
+
+    def test_negative_value_rejected(self):
+        table = MapTable(4)
+        with pytest.raises(ValueError):
+            table[0] = -2
+
+    def test_get_out_of_range_returns_default(self):
+        table = MapTable(4)
+        assert table.get(99) is None
+        assert table.get(-1) is None
+        assert table.get(99, default=7) == 7
+
+    def test_pop(self):
+        table = MapTable(4)
+        table[2] = 5
+        assert table.pop(2) == 5
+        assert table.pop(2) is None
+        assert table.pop(99, default=3) == 3
+        assert table.mapped_count() == 0
+
+    def test_items_ascending_and_sparse(self):
+        table = MapTable(6)
+        table[4] = 40
+        table[1] = 10
+        assert list(table.items()) == [(1, 10), (4, 40)]
+
+    def test_iteration_matches_list_semantics(self):
+        table = MapTable(3)
+        table[1] = 7
+        assert list(table) == [None, 7, None]
+
+    def test_snapshot_restore_roundtrip(self):
+        table = MapTable(5)
+        table[0] = 3
+        table[4] = 0
+        snap = table.snapshot()
+        assert snap == [3, None, None, None, 0]
+        other = MapTable(5)
+        other.restore(snap)
+        assert list(other.items()) == [(0, 3), (4, 0)]
+
+    def test_restore_size_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            MapTable(3).restore([None] * 4)
+
+    def test_clear_keeps_capacity_and_raw_identity(self):
+        table = MapTable(4)
+        raw = table.raw
+        table[2] = 9
+        table.clear()
+        assert table.raw is raw
+        assert len(table) == 4
+        assert table.mapped_count() == 0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            MapTable(-1)
+
+
+class TestLruCache:
+    def test_eviction_order_is_least_recently_used(self):
+        """The eviction-order contract behind the GMT ablation cache.
+
+        After touching key 1 (a hit), key 2 becomes the LRU entry: the
+        next insert past capacity must evict 2, not 1.  The seed's
+        OrderedDict cache got this via move_to_end on every access; the
+        explicit cache must preserve it while only paying on hits.
+        """
+        cache = LruCache(3)
+        cache.put(1, "a")
+        cache.put(2, "b")
+        cache.put(3, "c")
+        assert cache.get(1) == "a"          # 1 becomes most-recent
+        cache.put(4, "d")                   # evicts 2 (now least-recent)
+        assert 2 not in cache
+        assert list(cache.keys()) == [3, 1, 4]
+
+    def test_overwrite_refreshes_recency(self):
+        cache = LruCache(2)
+        cache.put(1, "a")
+        cache.put(2, "b")
+        cache.put(1, "a2")                  # overwrite: 2 is now LRU
+        cache.put(3, "c")
+        assert 2 not in cache
+        assert cache.get(1) == "a2"
+        assert cache.get(3) == "c"
+
+    def test_fresh_insert_is_most_recent(self):
+        cache = LruCache(2)
+        cache.put(1, "a")
+        cache.put(2, "b")
+        cache.put(3, "c")                   # evicts 1 (oldest insert)
+        assert 1 not in cache
+        assert list(cache.keys()) == [2, 3]
+
+    def test_miss_returns_none_without_reordering(self):
+        cache = LruCache(2)
+        cache.put(1, "a")
+        cache.put(2, "b")
+        assert cache.get(99) is None
+        assert list(cache.keys()) == [1, 2]
+
+    def test_zero_capacity_stores_nothing(self):
+        cache = LruCache(0)
+        cache.put(1, "a")
+        assert len(cache) == 0
+        assert cache.get(1) is None
+
+    def test_clear(self):
+        cache = LruCache(2)
+        cache.put(1, "a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get(1) is None

@@ -1,0 +1,157 @@
+"""Tests for the parallel sweep runner (repro.perf.sweep).
+
+The contract under test: parallelism is *transparent*.  A pool run and an
+in-process run of the same cells produce identical results (workers
+rebuild the device/FTL from picklable inputs; nothing simulated depends
+on which process replays the trace), worker crashes surface as one
+picklable exception type carrying the remote traceback, and ``jobs=1``
+never touches multiprocessing at all.
+"""
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.perf.sweep import (
+    SweepCell,
+    SweepWorkerError,
+    cell_seed,
+    run_sweep,
+)
+from repro.sim.golden import engine_digest
+from repro.sim.runner import DeviceSpec
+from repro.traces import uniform_random
+
+DEVICE = DeviceSpec(
+    num_blocks=64, pages_per_block=16, page_size=512, logical_fraction=0.7,
+)
+
+
+def _cells():
+    footprint = DEVICE.logical_pages
+    trace = uniform_random(
+        800, footprint, write_ratio=0.9,
+        seed=cell_seed(3, "sweep-test"), name="sweep-test",
+    )
+    return [
+        SweepCell(name="ideal/sweep-test", scheme="ideal",
+                  trace=trace, device=DEVICE),
+        SweepCell(name="DFTL/sweep-test", scheme="DFTL", trace=trace,
+                  device=DEVICE, options={"cmt_entries": 128}),
+        SweepCell(name="LazyFTL/sweep-test", scheme="LazyFTL",
+                  trace=trace, device=DEVICE),
+    ]
+
+
+class TestSerialParallelIdentity:
+    def test_parallel_results_bit_identical_to_serial(self):
+        cells = _cells()
+        serial = run_sweep(cells, jobs=1)
+        parallel = run_sweep(cells, jobs=2)
+        assert len(serial) == len(parallel) == len(cells)
+        for cell, s, p in zip(cells, serial, parallel):
+            assert s.scheme == p.scheme == cell.scheme
+            assert engine_digest(s) == engine_digest(p), cell.name
+
+    def test_results_preserve_cell_order(self):
+        cells = _cells()
+        results = run_sweep(cells, jobs=2)
+        assert [r.scheme for r in results] == [c.scheme for c in cells]
+
+
+class TestWorkerCrash:
+    def test_worker_crash_surfaces_with_cell_name_and_traceback(self):
+        cells = _cells()[:1] + [
+            SweepCell(name="broken/cell", scheme="no-such-scheme",
+                      trace=cells_trace(), device=DEVICE),
+        ]
+        with pytest.raises(SweepWorkerError) as excinfo:
+            run_sweep(cells, jobs=2)
+        assert excinfo.value.cell_name == "broken/cell"
+        assert "no-such-scheme" in excinfo.value.remote_traceback
+
+    def test_in_process_run_raises_same_error_shape(self):
+        bad = [SweepCell(name="broken/cell", scheme="no-such-scheme",
+                         trace=cells_trace(), device=DEVICE)]
+        with pytest.raises(SweepWorkerError) as excinfo:
+            run_sweep(bad, jobs=1)
+        assert excinfo.value.cell_name == "broken/cell"
+
+    def test_error_survives_pickling(self):
+        # The whole point of the custom __reduce__: the pool must be able
+        # to ship the exception back to the parent intact.
+        err = SweepWorkerError("cell-x", "Traceback: boom")
+        clone = pickle.loads(pickle.dumps(err))
+        assert isinstance(clone, SweepWorkerError)
+        assert clone.cell_name == "cell-x"
+        assert clone.remote_traceback == "Traceback: boom"
+
+
+class TestJobsOneStaysInProcess:
+    def test_jobs_one_never_creates_a_pool(self, monkeypatch):
+        def forbid(*args, **kwargs):
+            raise AssertionError("jobs=1 must not create a process pool")
+
+        monkeypatch.setattr(multiprocessing, "Pool", forbid)
+        results = run_sweep(_cells()[:2], jobs=1)
+        assert len(results) == 2
+
+    def test_single_cell_stays_in_process_even_with_jobs(self, monkeypatch):
+        def forbid(*args, **kwargs):
+            raise AssertionError(
+                "a single-cell sweep must not pay pool startup"
+            )
+
+        monkeypatch.setattr(multiprocessing, "Pool", forbid)
+        results = run_sweep(_cells()[:1], jobs=4)
+        assert len(results) == 1
+
+
+class TestCellSeed:
+    def test_deterministic_and_key_sensitive(self):
+        assert cell_seed(7, "a") == cell_seed(7, "a")
+        assert cell_seed(7, "a") != cell_seed(7, "b")
+        assert cell_seed(7, "a") != cell_seed(8, "a")
+
+    def test_non_negative_31_bit(self):
+        for base in (0, 1, 2**40):
+            for key in ("", "x", "scheme/trace"):
+                seed = cell_seed(base, key)
+                assert 0 <= seed < 2**31
+
+
+def cells_trace():
+    return uniform_random(
+        200, DEVICE.logical_pages, write_ratio=1.0,
+        seed=cell_seed(3, "crash"), name="crash",
+    )
+
+
+class TestCompareSchemesJobs:
+    def test_parallel_compare_matches_serial(self):
+        from repro.sim.runner import compare_schemes
+
+        trace = cells_trace()
+        serial = compare_schemes(
+            trace, schemes=("ideal", "DFTL"), device=DEVICE,
+            options={"DFTL": {"cmt_entries": 128}},
+        )
+        parallel = compare_schemes(
+            trace, schemes=("ideal", "DFTL"), device=DEVICE,
+            options={"DFTL": {"cmt_entries": 128}}, jobs=2,
+        )
+        assert set(serial) == set(parallel)
+        for scheme in serial:
+            assert engine_digest(serial[scheme]) \
+                == engine_digest(parallel[scheme])
+
+    def test_tracer_requires_serial(self):
+        from repro.obs import Tracer
+        from repro.sim.runner import compare_schemes
+
+        with pytest.raises(ValueError, match="jobs=1"):
+            compare_schemes(
+                cells_trace(), schemes=("ideal",), device=DEVICE,
+                tracer=Tracer(), jobs=2,
+            )

@@ -85,8 +85,8 @@ class TestFtlStatsArithmetic:
 
     def test_as_dict_covers_all_fields(self):
         s = FtlStats()
-        from dataclasses import fields
-        assert set(s.as_dict()) == {f.name for f in fields(FtlStats)}
+        assert set(s.as_dict()) == set(FtlStats._FIELDS)
+        assert set(FtlStats._FIELDS) == set(FtlStats.__slots__)
 
 
 class TestSteadyPreconditioning:

@@ -10,7 +10,11 @@ Runs, in order:
    image does not ship it);
 4. **trace schema** - generates a small end-to-end trace via
    ``python -m repro compare --trace-out`` and validates it with
-   ``tools/check_trace_schema.py`` (including cause-stack consistency).
+   ``tools/check_trace_schema.py`` (including cause-stack consistency);
+5. **perfbench** - ``benchmarks/perfbench.py --smoke --check``: replays
+   the smoke throughput suite and fails when any cell regresses more
+   than ``[tool.perfbench] max_regression_pct`` against the committed
+   ``BENCH_pr3.json`` 'after' baseline.
 
 Configuration lives in ``pyproject.toml`` under ``[tool.check_all]``
 (lint paths, the trace smoke command).  Exit status 0 when every step
@@ -38,7 +42,7 @@ try:
 except ModuleNotFoundError:  # Python < 3.11
     tomllib = None
 
-STEPS = ("ftlint", "pytest", "mypy", "trace")
+STEPS = ("ftlint", "pytest", "mypy", "trace", "perfbench")
 
 
 def load_config() -> dict:
@@ -114,6 +118,13 @@ def step_trace(config: dict) -> bool:
         ])
 
 
+def step_perfbench(config: dict) -> bool:
+    return run_step("perfbench", [
+        sys.executable, str(_REPO_ROOT / "benchmarks" / "perfbench.py"),
+        "--smoke", "--check",
+    ])
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="check_all", description=__doc__.splitlines()[0]
@@ -130,6 +141,7 @@ def main(argv=None) -> int:
         "pytest": step_pytest,
         "mypy": step_mypy,
         "trace": step_trace,
+        "perfbench": step_perfbench,
     }
     failed = []
     for name in STEPS:

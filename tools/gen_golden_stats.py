@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Regenerate the golden engine-statistics snapshot.
+
+Runs the canonical golden workload (see :mod:`repro.sim.golden`) through
+every FTL scheme and writes the digests to
+``tests/golden/engine_stats.json``.  ``tests/test_golden_stats.py``
+compares the live engine against this file bit-for-bit, so regenerate it
+ONLY when a behaviour change is intentional and understood - never to
+"fix" a failing golden test after a refactor that was supposed to be
+statistics-neutral.
+
+Run:  PYTHONPATH=src python tools/gen_golden_stats.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.sim.golden import collect_golden_digests  # noqa: E402
+
+GOLDEN_PATH = _REPO_ROOT / "tests" / "golden" / "engine_stats.json"
+
+
+def main() -> int:
+    digests = collect_golden_digests()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as stream:
+        json.dump(digests, stream, indent=1, sort_keys=True)
+        stream.write("\n")
+    print(f"wrote {len(digests)} digests to {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
