@@ -19,6 +19,12 @@ SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
+# The binary trace cache stays at its default location
+# (~/.cache/repro-traces, or $REPRO_TRACE_CACHE_DIR): the second run of
+# any bench_e* module loads every workload's columns from disk instead of
+# re-running a generator or parsing trace text.  Set REPRO_TRACE_CACHE=0
+# to benchmark cold-parse behaviour.
+
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 
 #: Request count for the headline runs; sized so the whole bench suite

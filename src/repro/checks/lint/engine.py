@@ -19,6 +19,7 @@ from .defaults import MutableDefaultRule
 from .excepts import ExceptHygieneRule
 from .maptypes import DictMapRule
 from .randomness import UnseededRandomRule
+from .replayattrs import ReplayAttrRule
 from .spans import SpanBalanceRule
 from .wallclock import WallClockRule
 
@@ -31,6 +32,7 @@ ALL_RULES: Sequence[Type[Rule]] = (
     ExceptHygieneRule,
     MutableDefaultRule,
     DictMapRule,
+    ReplayAttrRule,
 )
 
 

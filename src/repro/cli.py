@@ -37,6 +37,7 @@ from .sim import HEADLINE_DEVICE, SCHEMES, DeviceSpec, compare_schemes
 from .sim.report import format_table
 from .traces import (
     Trace,
+    cache as trace_cache,
     characterize,
     financial1,
     financial2,
@@ -96,7 +97,27 @@ def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--footprint-fraction", type=float, default=0.8)
 
 
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-cache-dir", metavar="DIR", default=None,
+        help="directory for the binary trace cache (default: "
+             "$REPRO_TRACE_CACHE_DIR or ~/.cache/repro-traces)")
+    parser.add_argument(
+        "--no-trace-cache", action="store_true",
+        help="disable the binary trace cache (always re-parse/"
+             "re-generate workloads)")
+
+
+def _configure_cache(args: argparse.Namespace) -> None:
+    """Apply the cache CLI flags before any trace is built."""
+    if args.no_trace_cache:
+        trace_cache.configure(enabled=False)
+    elif args.trace_cache_dir is not None:
+        trace_cache.configure(args.trace_cache_dir)
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
+    _configure_cache(args)
     device = _device_from_args(args)
     trace = _trace_from_args(args, device)
     tracer = None
@@ -181,6 +202,7 @@ def cmd_inspect_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_characterize(args: argparse.Namespace) -> int:
+    _configure_cache(args)
     device = _device_from_args(args)
     trace = _trace_from_args(args, device)
     c = characterize(trace)
@@ -190,6 +212,7 @@ def cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def cmd_replay_spc(args: argparse.Namespace) -> int:
+    _configure_cache(args)
     device = _device_from_args(args)
     trace = parse_spc_file(
         args.path,
@@ -220,6 +243,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare = sub.add_parser("compare", help="cross-scheme comparison")
     _add_trace_arguments(compare)
     _add_device_arguments(compare)
+    _add_cache_arguments(compare)
     compare.add_argument(
         "--schemes", nargs="+", choices=list(SCHEMES),
         # Default to the paper's five; NFTL/LAST/superblock opt in (the
@@ -254,6 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
     charac = sub.add_parser("characterize", help="workload statistics")
     _add_trace_arguments(charac)
     _add_device_arguments(charac)
+    _add_cache_arguments(charac)
     charac.set_defaults(func=cmd_characterize)
 
     replay = sub.add_parser("replay-spc", help="replay a real SPC trace")
@@ -263,6 +288,7 @@ def build_parser() -> argparse.ArgumentParser:
                         default=["DFTL", "LazyFTL", "ideal"],
                         choices=list(SCHEMES))
     _add_device_arguments(replay)
+    _add_cache_arguments(replay)
     replay.set_defaults(func=cmd_replay_spc)
     return parser
 

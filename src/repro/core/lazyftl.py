@@ -20,11 +20,12 @@ mapping is committed at conversion time, or sooner if GC stumbles on it
 
 from __future__ import annotations
 
+from itertools import chain
 from typing import Any, List, Optional
 
 from ..flash.chip import NandFlash
 from ..flash.errors import BadBlockError
-from ..flash.oob import OOBData, PageKind, SequenceCounter
+from ..flash.oob import PageKind, SequenceCounter, make_oob
 from ..flash.page import PageState
 from ..ftl.base import UNMAPPED_READ_US, FlashTranslationLayer, HostResult
 from ..obs.events import Cause, EventType
@@ -40,6 +41,12 @@ from .umt import UpdateMappingTable, group_by_tvpn
 #: are never part of the allocation pool, so recovery can always find the
 #: latest checkpoint at a fixed location.
 ANCHOR_BLOCKS = (0, 1)
+
+#: Enum members pre-resolved for the per-page identity check in
+#: :meth:`LazyFTL._deferred_invalidate` (called once per displaced GMT
+#: entry - a commit-path hot spot).
+_VALID = PageState.VALID
+_DATA = PageKind.DATA
 
 
 class LazyFTL(FlashTranslationLayer):
@@ -111,6 +118,9 @@ class LazyFTL(FlashTranslationLayer):
         )
         self._in_maintenance = False
         self._writes_since_checkpoint = 0
+        #: Hoisted from the (frozen) config: write() skips the periodic-
+        #: checkpoint call entirely when checkpointing is off (the default).
+        self._ckpt_interval = self.config.checkpoint_interval
         # Imported here to avoid a module cycle (recovery imports LazyFTL).
         from .recovery import CheckpointScribe
 
@@ -138,9 +148,10 @@ class LazyFTL(FlashTranslationLayer):
         if not 0 <= lpn < self.logical_pages:
             self._check_lpn(lpn)
         self.stats.host_writes += 1
+        flash = self.flash
         frontier = self._uba.frontier
         if frontier is None or \
-                self.flash.blocks[frontier]._write_ptr >= self._pages_per_block:
+                flash.blocks[frontier]._write_ptr >= self._pages_per_block:
             latency = self._ensure_update_frontier()
             frontier = self._uba.frontier
         else:
@@ -148,17 +159,18 @@ class LazyFTL(FlashTranslationLayer):
         # Resolve the superseded copy only now: the frontier work above may
         # have converted the block holding it (removing its UMT entry).
         old_ppn = self._umt.ppn_at(lpn)
-        block = self.flash.blocks[frontier]
-        ppn = frontier * self._pages_per_block + block._write_ptr
-        latency += self.flash.program_page(
-            ppn, data, OOBData(lpn, self._seq.next())
+        ppn = frontier * self._pages_per_block \
+            + flash.blocks[frontier]._write_ptr
+        latency += flash.program_page(
+            ppn, data, make_oob((lpn, self._seq.next(), PageKind.DATA, False))
         )
         if old_ppn >= 0:
             # The old copy lives in the UBA/CBA: invalidate immediately.
             # (GMT-resident old copies are invalidated lazily at commit.)
-            self.flash.invalidate_page(old_ppn)
+            flash.invalidate_page(old_ppn)
         self._umt.set(lpn, ppn, cold=False)
-        latency += self._periodic_checkpoint()
+        if self._ckpt_interval > 0:
+            latency += self._periodic_checkpoint()
         return HostResult(latency)
 
     def ram_bytes(self) -> int:
@@ -274,11 +286,16 @@ class LazyFTL(FlashTranslationLayer):
             tracer.span_start(None, Cause.CONVERT)
         block = self.flash.blocks[pbn]
         base = pbn * self._pages_per_block
-        points_to = self._umt.points_to
+        umt = self._umt
+        points_to = umt.points_to
         pages = block.pages
+        VALID = PageState.VALID
         pairs = []
-        for offset in block.valid_offsets():
-            lpn = pages[offset].oob.lpn
+        for offset in range(block._write_ptr):
+            page = pages[offset]
+            if page.state is not VALID:
+                continue
+            lpn = page.oob.lpn
             ppn = base + offset
             if points_to(lpn, ppn):
                 pairs.append((lpn, ppn))
@@ -289,23 +306,32 @@ class LazyFTL(FlashTranslationLayer):
         # Global batching: a GMT page we are going to rewrite anyway also
         # absorbs every other UMT entry it covers - entries from blocks
         # that have not converted yet.  Their blocks will later skip them.
-        committed = [lpn for lpn, _ in pairs]
-        if self.config.global_batching:
+        batched = self.config.global_batching
+        n_committed = len(pairs)
+        if batched:
+            ppn_at = umt.ppn_at
             for tvpn, group in groups.items():
                 in_group = {lpn for lpn, _ in group}
-                for lpn in self._umt.lpns_in_tvpn(tvpn):
+                for lpn in umt.lpns_in_tvpn(tvpn):
                     if lpn in in_group:
                         continue
-                    group.append((lpn, self._umt.ppn_at(lpn)))
-                    committed.append(lpn)
+                    group.append((lpn, ppn_at(lpn)))
+                    n_committed += 1
         latency = self._maps.commit(groups, self._deferred_invalidate)
-        discard = self._umt.discard
-        for lpn in committed:
-            discard(lpn)
+        if batched:
+            # With global batching every UMT entry covered by a committed
+            # GMT page was just committed, so retire them per page in bulk.
+            discard_tvpn = umt.discard_tvpn
+            for tvpn in groups:
+                discard_tvpn(tvpn)
+        else:
+            discard = umt.discard
+            for lpn, _ in pairs:
+                discard(lpn)
         if tracer is not None:
             tracer.span_end(
                 EventType.CONVERT, ppn=pbn,
-                entries=len(committed), gmt_pages=len(groups),
+                entries=n_committed, gmt_pages=len(groups),
             )
         return latency
 
@@ -316,13 +342,13 @@ class LazyFTL(FlashTranslationLayer):
         since; the page-identity check (state + OOB lpn) makes the
         invalidation safe in that case.
         """
-        page = self.flash.blocks[old_ppn // self._pages_per_block] \
-            .pages[old_ppn % self._pages_per_block]
+        ppb = self._pages_per_block
+        page = self.flash.blocks[old_ppn // ppb].pages[old_ppn % ppb]
         oob = page.oob
         if (
-            page.state is PageState.VALID
+            page.state is _VALID
             and oob is not None
-            and oob.kind is PageKind.DATA
+            and oob.kind is _DATA
             and oob.lpn == lpn
         ):
             self.flash.invalidate_page(old_ppn)
@@ -340,12 +366,16 @@ class LazyFTL(FlashTranslationLayer):
 
     def _collect_one(self, forced_victim: Optional[int] = None) -> float:
         blocks = self.flash.blocks
-        candidates = [blocks[b] for b in self._dba]
-        candidates += [blocks[b] for b in self._maps.full_blocks]
         if forced_victim is not None:
             victim = self.flash.block(forced_victim)
         else:
-            victim = select_greedy(candidates)
+            # select_greedy's order is total (fewest valid, then lowest
+            # index), so a lazy candidate iterator picks the same victim
+            # as a materialised list.
+            victim = select_greedy(map(
+                blocks.__getitem__,
+                chain(self._dba, self._maps.full_blocks),
+            ))
         if victim is None:
             raise OutOfBlocksError("LazyFTL GC found no victim")
         if forced_victim is None and \
@@ -401,15 +431,27 @@ class LazyFTL(FlashTranslationLayer):
         base = pbn * ppb
         block = blocks[pbn]
         pages = block.pages
-        for offset in list(block.valid_offsets()):
-            if not pages[offset].is_valid:
+        VALID = PageState.VALID
+        DATA = PageKind.DATA
+        offsets = [
+            o for o in range(block._write_ptr)
+            if pages[o].state is VALID
+        ]
+        # The CBA frontier only changes through _ensure_cold_frontier (no
+        # host writes run mid-GC), so it is tracked in a local and
+        # re-fetched only after that call instead of through the property
+        # on every relocated page.
+        frontier = cba.frontier
+        for offset in offsets:
+            page = pages[offset]
+            if page.state is not VALID:
                 # A cold-block conversion triggered earlier in this very
                 # loop can commit a UMT entry whose displaced GMT value is
                 # this page (deferred invalidation resolving mid-pass);
                 # the snapshot above is then stale - skip the dead page.
                 continue
             src = base + offset
-            lpn = pages[offset].oob.lpn
+            lpn = page.oob.lpn
             umt_ppn = ppn_at(lpn)
             if umt_ppn >= 0 and umt_ppn != src:
                 # Superseded by a later write whose mapping is still in the
@@ -418,13 +460,12 @@ class LazyFTL(FlashTranslationLayer):
                 continue
             data, _, read_lat = read_page(src)
             latency += read_lat
-            frontier = cba.frontier
             if frontier is None or blocks[frontier]._write_ptr >= ppb:
                 latency += self._ensure_cold_frontier()
                 frontier = cba.frontier
             dst = frontier * ppb + blocks[frontier]._write_ptr
             latency += program_page(
-                dst, data, OOBData(lpn, seq_next(), cold=True),
+                dst, data, make_oob((lpn, seq_next(), DATA, True)),
             )
             umt.set(lpn, dst, cold=True)
             invalidate_page(src)
@@ -445,9 +486,10 @@ class LazyFTL(FlashTranslationLayer):
         used = 0.0
         blocks = self.flash.blocks
         while used < budget_us and len(self._pool) <= soft_threshold:
-            candidates = [blocks[b] for b in self._dba]
-            candidates += [blocks[b] for b in self._maps.full_blocks]
-            victim = select_greedy(candidates)
+            victim = select_greedy(map(
+                blocks.__getitem__,
+                chain(self._dba, self._maps.full_blocks),
+            ))
             if victim is None or \
                     victim.valid_count >= victim.pages_per_block:
                 break  # nothing profitably reclaimable right now

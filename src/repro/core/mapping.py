@@ -18,7 +18,8 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..flash.chip import NandFlash
 from ..flash.geometry import MAP_ENTRY_BYTES
-from ..flash.oob import OOBData, PageKind, SequenceCounter
+from ..flash.oob import PageKind, SequenceCounter, make_oob
+from ..flash.page import PageState
 from ..ftl.pool import BlockPool
 from ..ftl.stats import FtlStats
 from ..obs.events import Cause, EventType
@@ -132,20 +133,24 @@ class MappingStore:
         latency = 0.0
         entries_per_page = self.entries_per_page
         stats = self.stats
+        ensure_frontier = self._ensure_frontier
+        load = self.load
+        program = self._program
         for tvpn in sorted(groups):
             # Reserve the slot first so the allocation cannot interleave
             # with the content snapshot below.
-            latency += self._ensure_frontier()
-            content, read_lat = self.load(tvpn)
+            latency += ensure_frontier()
+            content, read_lat = load(tvpn)
             latency += read_lat
-            for lpn, new_ppn in groups[tvpn]:
+            group = groups[tvpn]
+            for lpn, new_ppn in group:
                 idx = lpn % entries_per_page
                 old_ppn = content[idx]
                 if old_ppn is not None and old_ppn != new_ppn:
                     on_superseded(lpn, old_ppn)
                 content[idx] = new_ppn
-                stats.batched_commits += 1
-            latency += self._program(tvpn, content)
+            stats.batched_commits += len(group)
+            latency += program(tvpn, content)
         if self.tracer is not None:
             self.tracer.emit(
                 EventType.BATCH_COMMIT,
@@ -163,7 +168,7 @@ class MappingStore:
         latency += self.flash.program_page(
             ppn,
             content,
-            OOBData(lpn=tvpn, seq=self.seq.next(), kind=PageKind.MAPPING),
+            make_oob((tvpn, self.seq.next(), PageKind.MAPPING, False)),
         )
         self.stats.map_writes += 1
         if self.tracer is not None:
@@ -205,7 +210,13 @@ class MappingStore:
         ppb = flash.geometry.pages_per_block
         base = pbn * ppb
         block = blocks[pbn]
-        for offset in list(block.valid_offsets()):
+        pages = block.pages
+        VALID = PageState.VALID
+        offsets = [
+            o for o in range(block._write_ptr)
+            if pages[o].state is VALID
+        ]
+        for offset in offsets:
             src = base + offset
             content, oob, read_lat = read_page(src)
             latency += read_lat
@@ -218,7 +229,7 @@ class MappingStore:
             latency += program_page(
                 dst,
                 content,
-                OOBData(lpn=oob.lpn, seq=seq_next(), kind=PageKind.MAPPING),
+                make_oob((oob.lpn, seq_next(), PageKind.MAPPING, False)),
             )
             stats.map_writes += 1
             if tracer is not None:

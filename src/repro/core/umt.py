@@ -137,6 +137,23 @@ class UpdateMappingTable:
             if not peers:
                 del self._by_tvpn[tvpn]
 
+    def discard_tvpn(self, tvpn: int) -> None:
+        """Remove every entry covered by GMT page ``tvpn`` in one pass.
+
+        Conversion with global batching commits *all* deferred entries of
+        each rewritten GMT page, so retiring them per page skips the
+        per-lpn tvpn-index bookkeeping :meth:`discard` would repeat.
+        """
+        peers = self._by_tvpn.pop(tvpn, None)
+        if not peers:
+            return
+        ppns = self._ppn
+        cold = self._cold
+        for lpn in peers:
+            ppns[lpn] = UNMAPPED
+            cold[lpn] = 0
+        self._count -= len(peers)
+
     def lpns_in_tvpn(self, tvpn: int) -> List[int]:
         """All lpns with deferred entries covered by GMT page ``tvpn``."""
         return sorted(self._by_tvpn.get(tvpn, ()))

@@ -19,6 +19,7 @@ from .block import Block
 from .errors import (
     BadBlockError,
     DeviceOffError,
+    EraseError,
     PowerLossError,
     ProgramError,
     ReadError,
@@ -117,8 +118,9 @@ class NandFlash:
         check_block = geometry.check_block
         blocks = self.blocks
         stats = self.stats
-        on_program = self.fault.on_program
-        on_erase = self.fault.on_erase
+        fault = self.fault
+        on_program = fault.on_program
+        on_erase = fault.on_erase
         read_us = self.timing.page_read_us
         program_us = self.timing.page_program_us
         erase_us = self.timing.block_erase_us
@@ -159,7 +161,10 @@ class NandFlash:
         ) -> float:
             if not self._powered:
                 raise DeviceOffError("flash device is powered off")
-            if on_program():
+            # _remaining is None exactly when on_program() would return
+            # False (disarmed, or already tripped - tripping nulls the
+            # countdown), so the common unarmed case skips the call.
+            if fault._remaining is not None and on_program():
                 self._powered = False
                 raise PowerLossError(
                     f"power lost before programming ppn {ppn}"
@@ -196,7 +201,7 @@ class NandFlash:
         def erase_block(pbn: int) -> float:
             if not self._powered:
                 raise DeviceOffError("flash device is powered off")
-            if on_erase():
+            if fault._remaining is not None and on_erase():
                 self._powered = False
                 raise PowerLossError(f"power lost before erasing block {pbn}")
             if not 0 <= pbn < num_blocks:
@@ -210,7 +215,20 @@ class NandFlash:
                 block.force_erase()  # contents are gone either way
                 block.mark_bad()
                 raise BadBlockError(pbn, block.erase_count)
-            block.erase()
+            if block._valid_count > 0:
+                raise EraseError(
+                    f"erase of block {pbn} with {block._valid_count} "
+                    "valid pages"
+                )
+            # Inlined Block.erase: pages at or past the write pointer were
+            # never programmed since the last erase, so they are already
+            # FREE/None/None and need no reset.
+            for page in block.pages[:block._write_ptr]:
+                page.state = FREE
+                page.data = None
+                page.oob = None
+            block._write_ptr = 0
+            block.erase_count += 1
             return erase_us
 
         def invalidate_page(ppn: int) -> None:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from collections import namedtuple
 from enum import Enum
+from functools import partial
 
 class PageKind(Enum):
     """What a physical page holds, as recorded in its OOB area."""
@@ -59,6 +60,15 @@ class OOBData(_OOBBase):
         if seq < 0:
             raise ValueError("seq must be non-negative")
         return tuple.__new__(cls, (lpn, seq, kind, cold))
+
+
+#: Unvalidated constructor for per-program hot paths: builds an OOBData
+#: from a ``(lpn, seq, kind, cold)`` 4-tuple via ``tuple.__new__``,
+#: skipping the range checks in :meth:`OOBData.__new__` (and the Python
+#: frame of namedtuple's ``_make``).  Only for call sites whose lpn/seq
+#: provably come from frontier math and the :class:`SequenceCounter`
+#: (both non-negative by construction).
+make_oob = partial(tuple.__new__, OOBData)
 
 
 class SequenceCounter:

@@ -18,11 +18,13 @@ address mappings" (ASPLOS 2009).
 from __future__ import annotations
 
 from collections import OrderedDict
+from itertools import chain
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..flash.chip import NandFlash
 from ..flash.geometry import MAP_ENTRY_BYTES
-from ..flash.oob import OOBData, PageKind, SequenceCounter
+from ..flash.oob import PageKind, SequenceCounter, make_oob
+from ..flash.page import PageState
 from ..obs.events import Cause, EventType
 from ..perf.maptable import MapTable
 from .base import UNMAPPED_READ_US, FlashTranslationLayer, HostResult
@@ -113,20 +115,23 @@ class DftlFTL(FlashTranslationLayer):
         if not 0 <= lpn < self.logical_pages:
             self._check_lpn(lpn)
         self.stats.host_writes += 1
+        flash = self.flash
+        ppb = self._pages_per_block
         _, latency = self._lookup(lpn)
-        latency += self._ensure_data_active()
+        active = self._data_active
+        if active is None or flash.blocks[active]._write_ptr >= ppb:
+            latency += self._ensure_data_active()
+            active = self._data_active
         # Re-resolve after space allocation: GC may have relocated the old
         # copy meanwhile (the CMT entry is kept current by GC).
         entry = self._cmt[lpn]  # present: _lookup just inserted/refreshed it
         old_ppn = entry.ppn
-        active = self._data_active
-        ppn = active * self._pages_per_block \
-            + self.flash.blocks[active].write_ptr
-        latency += self.flash.program_page(
-            ppn, data, OOBData(lpn, self._seq.next())
+        ppn = active * ppb + flash.blocks[active]._write_ptr
+        latency += flash.program_page(
+            ppn, data, make_oob((lpn, self._seq.next(), PageKind.DATA, False))
         )
         if old_ppn is not None:
-            self.flash.invalidate_page(old_ppn)
+            flash.invalidate_page(old_ppn)
         entry.ppn = ppn
         entry.dirty = True
         self._cmt.move_to_end(lpn)
@@ -227,7 +232,7 @@ class DftlFTL(FlashTranslationLayer):
         latency += self.flash.program_page(
             ppn,
             content,
-            OOBData(lpn=tvpn, seq=self._seq.next(), kind=PageKind.MAPPING),
+            make_oob((tvpn, self._seq.next(), PageKind.MAPPING, False)),
         )
         self.stats.map_writes += 1
         if self._tracer is not None:
@@ -300,9 +305,13 @@ class DftlFTL(FlashTranslationLayer):
 
     def _collect_one(self) -> float:
         blocks = self.flash.blocks
-        candidates = [blocks[b] for b in self._data_blocks]
-        candidates += [blocks[b] for b in self._trans_blocks]
-        victim = select_greedy(candidates)
+        # select_greedy has a total deterministic order (fewest valid,
+        # then lowest index), so feeding it a lazy iterator instead of a
+        # materialised list cannot change the victim.
+        victim = select_greedy(map(
+            blocks.__getitem__,
+            chain(self._data_blocks, self._trans_blocks),
+        ))
         if victim is None:
             raise OutOfBlocksError("DFTL GC found no victim")
         if victim.valid_count >= victim.pages_per_block:
@@ -347,7 +356,13 @@ class DftlFTL(FlashTranslationLayer):
         ppb = self._pages_per_block
         base = pbn * ppb
         block = blocks[pbn]
-        for offset in list(block.valid_offsets()):
+        pages = block.pages
+        VALID = PageState.VALID
+        offsets = [
+            o for o in range(block._write_ptr)
+            if pages[o].state is VALID
+        ]
+        for offset in offsets:
             src = base + offset
             content, oob, read_lat = read_page(src)
             latency += read_lat
@@ -360,7 +375,7 @@ class DftlFTL(FlashTranslationLayer):
             latency += program_page(
                 dst,
                 content,
-                OOBData(lpn=oob.lpn, seq=seq_next(), kind=PageKind.MAPPING),
+                make_oob((oob.lpn, seq_next(), PageKind.MAPPING, False)),
             )
             stats.map_writes += 1
             if tracer is not None:
@@ -389,21 +404,34 @@ class DftlFTL(FlashTranslationLayer):
         entries_per_page = self.entries_per_page
         base = pbn * ppb
         block = blocks[pbn]
+        pages = block.pages
+        VALID = PageState.VALID
+        DATA = PageKind.DATA
         moved: Dict[int, List[Tuple[int, int]]] = {}  # tvpn -> [(lpn, dst)]
-        for offset in list(block.valid_offsets()):
+        moved_setdefault = moved.setdefault
+        offsets = [
+            o for o in range(block._write_ptr)
+            if pages[o].state is VALID
+        ]
+        # The GC destination only changes through _gc_destination (host
+        # writes never interleave with a GC pass), so it lives in a local
+        # refreshed after that call rather than being re-read per page.
+        gc_active = self._gc_active
+        for offset in offsets:
             src = base + offset
             data, oob, read_lat = read_page(src)
             latency += read_lat
-            gc_active = self._gc_active
             if gc_active is None or blocks[gc_active]._write_ptr >= ppb:
                 latency += self._gc_destination()
                 gc_active = self._gc_active
             lpn = oob.lpn
             dst = gc_active * ppb + blocks[gc_active]._write_ptr
-            latency += program_page(dst, data, OOBData(lpn, seq_next()))
+            latency += program_page(
+                dst, data, make_oob((lpn, seq_next(), DATA, False))
+            )
             invalidate_page(src)
             stats.gc_page_copies += 1
-            moved.setdefault(lpn // entries_per_page, []).append((lpn, dst))
+            moved_setdefault(lpn // entries_per_page, []).append((lpn, dst))
         for tvpn, pairs in moved.items():
             content, read_lat = self._load_tpage(tvpn)
             latency += read_lat

@@ -14,13 +14,15 @@ evaluation): the device serves one request at a time (FCFS).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import repeat
 from typing import Dict, Optional
 
 from ..flash.stats import FlashStats, wear_summary
 from ..ftl.base import FlashTranslationLayer
 from ..ftl.stats import FtlStats
 from ..obs.tracer import Tracer
-from ..traces.model import OpType, Trace
+from ..traces.columnar import NO_ARRIVAL
+from ..traces.model import Trace
 from .metrics import ResponseStats
 
 
@@ -98,16 +100,20 @@ class Simulator:
 
     def warm_up(self, trace: Trace) -> None:
         """Run a trace without recording statistics (pre-conditioning)."""
+        cols = trace.to_columnar()
         ftl_write = self.ftl.write
         ftl_read = self.ftl.read
-        write_op = OpType.WRITE
-        for request in trace.requests:
-            lpn = request.lpn
-            if request.op is write_op:
-                for p in range(lpn, lpn + request.npages):
-                    ftl_write(p, None)
+        for op, lpn, npages in zip(cols.ops, cols.lpns, cols.npages):
+            if op:
+                if npages == 1:
+                    ftl_write(lpn, None)
+                else:
+                    for p in range(lpn, lpn + npages):
+                        ftl_write(p, None)
+            elif npages == 1:
+                ftl_read(lpn)
             else:
-                for p in range(lpn, lpn + request.npages):
+                for p in range(lpn, lpn + npages):
                     ftl_read(p)
 
     def run(
@@ -162,22 +168,50 @@ class Simulator:
     def _replay_fast(self, trace: Trace, responses: ResponseStats) -> float:
         """Untraced replay: zero observability work on the per-op path.
 
-        Method and constant lookups are hoisted out of the loop and no
-        tracer branch survives inside it.  Float accumulation happens in
-        exactly the order of the traced twin below, so both produce
+        Iterates the trace columns directly - no per-request object, no
+        Enum identity compare - with method lookups hoisted out of the
+        loop and no tracer branch inside it.  Float accumulation happens
+        in exactly the order of the traced twin below, so both produce
         bit-identical statistics for the same FTL behaviour.
         """
+        cols = trace.to_columnar()
         ftl = self.ftl
         ftl_write = ftl.write
         ftl_read = ftl.read
         background_work = ftl.background_work
         record = responses.record
-        write_op = OpType.WRITE
         device_free_at = 0.0
         busy = 0.0
-        for request in trace.requests:
-            arrival = request.arrival_us
-            if arrival is None:
+        arrivals = cols.arrivals
+        if arrivals is None:
+            # Fully closed-loop: every request is issued the instant the
+            # device frees up, so the arrival logic drops out entirely.
+            # Single-page requests (the common case) skip the range()
+            # construction; ``service = x`` and ``service = 0.0 + x`` are
+            # the same IEEE-754 value, so the split stays bit-identical.
+            for op, lpn, npages in zip(cols.ops, cols.lpns, cols.npages):
+                if op:
+                    if npages == 1:
+                        service = ftl_write(lpn, None).latency_us
+                    else:
+                        service = 0.0
+                        for p in range(lpn, lpn + npages):
+                            service += ftl_write(p, None).latency_us
+                elif npages == 1:
+                    service = ftl_read(lpn).latency_us
+                else:
+                    service = 0.0
+                    for p in range(lpn, lpn + npages):
+                        service += ftl_read(p).latency_us
+                completion = device_free_at + service
+                record(op, completion - device_free_at)
+                device_free_at = completion
+                busy += service
+            return busy
+        for op, lpn, npages, arrival in zip(
+            cols.ops, cols.lpns, cols.npages, arrivals
+        ):
+            if arrival != arrival:  # NaN: closed-loop request
                 arrival = device_free_at
             elif arrival > device_free_at:
                 # The device is idle until this arrival: offer the gap to
@@ -187,17 +221,21 @@ class Simulator:
                     device_free_at += used
                     busy += used
             start = device_free_at if device_free_at > arrival else arrival
-            is_write = request.op is write_op
-            lpn = request.lpn
-            service = 0.0
-            if is_write:
-                for p in range(lpn, lpn + request.npages):
-                    service += ftl_write(p, None).latency_us
+            if op:
+                if npages == 1:
+                    service = ftl_write(lpn, None).latency_us
+                else:
+                    service = 0.0
+                    for p in range(lpn, lpn + npages):
+                        service += ftl_write(p, None).latency_us
+            elif npages == 1:
+                service = ftl_read(lpn).latency_us
             else:
-                for p in range(lpn, lpn + request.npages):
+                service = 0.0
+                for p in range(lpn, lpn + npages):
                     service += ftl_read(p).latency_us
             completion = start + service
-            record(is_write, completion - arrival)
+            record(op, completion - arrival)
             device_free_at = completion
             busy += service
         return busy
@@ -205,32 +243,53 @@ class Simulator:
     def _replay_traced(
         self, trace: Trace, responses: ResponseStats, tracer: Tracer
     ) -> float:
-        """Traced replay: stamps the event clock and emits host events."""
+        """Traced replay: stamps the event clock and emits host events.
+
+        Same columnar iteration and hoisting as :meth:`_replay_fast`
+        (the tracer calls are the only difference), with float
+        accumulation in the identical order so traced and untraced runs
+        agree bit-for-bit.
+        """
+        cols = trace.to_columnar()
+        ftl = self.ftl
+        ftl_write = ftl.write
+        ftl_read = ftl.read
+        background_work = ftl.background_work
+        record = responses.record
+        set_clock = tracer.set_clock
+        host_op = tracer.host_op
         device_free_at = 0.0
         busy = 0.0
-        for request in trace:
-            arrival = request.arrival_us if request.arrival_us is not None \
-                else device_free_at
-            if arrival > device_free_at:
-                tracer.set_clock(device_free_at)
-                used = self.ftl.background_work(arrival - device_free_at)
+        arrivals = cols.arrivals if cols.arrivals is not None \
+            else repeat(NO_ARRIVAL)
+        for op, first_lpn, npages, arrival in zip(
+            cols.ops, cols.lpns, cols.npages, arrivals
+        ):
+            if arrival != arrival:  # NaN: closed-loop request
+                arrival = device_free_at
+            elif arrival > device_free_at:
+                set_clock(device_free_at)
+                used = background_work(arrival - device_free_at)
                 if used > 0:
                     device_free_at += used
                     busy += used
-            start = max(arrival, device_free_at)
+            start = arrival if arrival > device_free_at else device_free_at
             # Events of this request are stamped from its service start;
             # flash ops advance the clock as they happen.
-            tracer.set_clock(start)
+            set_clock(start)
             service = 0.0
-            for lpn in request.pages:
-                if request.is_write:
-                    op_latency = self.ftl.write(lpn, None).latency_us
-                else:
-                    op_latency = self.ftl.read(lpn).latency_us
-                service += op_latency
-                tracer.host_op(request.is_write, lpn, op_latency)
+            if op:
+                for lpn in range(first_lpn, first_lpn + npages):
+                    op_latency = ftl_write(lpn, None).latency_us
+                    service += op_latency
+                    host_op(op, lpn, op_latency)
+            else:
+                for lpn in range(first_lpn, first_lpn + npages):
+                    op_latency = ftl_read(lpn).latency_us
+                    service += op_latency
+                    host_op(op, lpn, op_latency)
             completion = start + service
-            responses.record(request.is_write, completion - arrival)
+            record(op, completion - arrival)
             device_free_at = completion
             busy += service
         return busy

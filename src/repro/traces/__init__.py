@@ -8,8 +8,14 @@ Built-in generators (all deterministic under ``seed``):
 * :func:`websearch` - read-dominant search-index workload;
 * :func:`tpcc` - mixed OLTP with table-shaped locality;
 * :func:`parse_spc_file` - loads real SPC-format traces when you have them.
+
+The canonical in-memory form is :class:`ColumnarTrace` (struct-of-arrays;
+see :mod:`repro.traces.columnar`); parsed and generated workloads are
+memoised on disk by the binary trace cache (:mod:`repro.traces.cache`).
 """
 
+from . import cache
+from .columnar import NO_ARRIVAL, ColumnarTrace
 from .financial import financial1, financial2
 from .io import TraceFormatError, dump_trace, load_trace, parse_trace, save_trace
 from .model import IORequest, OpType, Trace, merge_traces
@@ -31,6 +37,9 @@ __all__ = [
     "IORequest",
     "OpType",
     "Trace",
+    "ColumnarTrace",
+    "NO_ARRIVAL",
+    "cache",
     "merge_traces",
     "characterize",
     "uniform_random",

@@ -1,0 +1,343 @@
+"""Columnar (struct-of-arrays) trace representation: the engine's canonical
+in-memory workload form.
+
+A million-request workload held as ``IORequest`` objects costs one boxed
+object (plus an ``Enum`` member reference and an optional boxed float) per
+request, and every replay touches four attributes per request.  The
+columnar form stores the same information in four parallel machine-typed
+arrays:
+
+* ``ops``      - ``array('b')``: 1 for a write, 0 for a read;
+* ``lpns``     - ``array('q')``: first logical page of each request;
+* ``npages``   - ``array('q')``: run length in pages (>= 1);
+* ``arrivals`` - ``array('d')`` or None: arrival timestamps in
+  microseconds.  ``None`` means the whole trace is closed-loop; inside an
+  array, a ``NaN`` entry marks an individual closed-loop request (mixed
+  traces arise from :func:`repro.traces.model.merge_traces`).
+
+The replay loops in :mod:`repro.sim.simulator` iterate these columns
+directly - no per-request object, no Enum identity compare - and the
+binary trace cache (:mod:`repro.traces.cache`) serialises them with
+``array.tobytes`` so a second benchmark run skips text parsing entirely.
+
+``IORequest``/``Trace`` (:mod:`repro.traces.model`) remain the validated
+construction and test-facing API; ``Trace.to_columnar()`` /
+:meth:`ColumnarTrace.to_requests` round-trip losslessly (``NaN`` arrival
+timestamps cannot be represented in ``IORequest`` and are rejected at
+validation, which is what makes the sentinel lossless).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .model import IORequest, Trace
+
+#: Sentinel stored in the ``arrivals`` column for a closed-loop request.
+NO_ARRIVAL = float("nan")
+
+
+def _as_array(typecode: str, values) -> array:
+    if isinstance(values, array) and values.typecode == typecode:
+        return values
+    return array(typecode, values if values is not None else ())
+
+
+class ColumnarTrace:
+    """Struct-of-arrays trace: four parallel columns plus a name.
+
+    Construction from raw columns validates shape (equal lengths) and,
+    unless ``validate=False`` (trusted internal producers: generators,
+    parsers and the binary cache, which all guarantee their values),
+    value ranges.  Like :class:`~repro.traces.model.Trace`, a columnar
+    trace is immutable by convention after construction - the summary
+    accessors are memoized and never invalidated.
+    """
+
+    __slots__ = ("name", "ops", "lpns", "npages", "arrivals",
+                 "_page_ops", "_write_page_ops", "_max_lpn", "_footprint")
+
+    def __init__(
+        self,
+        ops,
+        lpns,
+        npages,
+        arrivals=None,
+        name: str = "trace",
+        validate: bool = True,
+    ):
+        self.ops = _as_array("b", ops)
+        self.lpns = _as_array("q", lpns)
+        self.npages = _as_array("q", npages)
+        self.arrivals = (
+            _as_array("d", arrivals) if arrivals is not None else None
+        )
+        self.name = name
+        self._page_ops: Optional[int] = None
+        self._write_page_ops: Optional[int] = None
+        self._max_lpn: Optional[int] = None
+        self._footprint: Optional[int] = None
+        n = len(self.ops)
+        if len(self.lpns) != n or len(self.npages) != n or (
+            self.arrivals is not None and len(self.arrivals) != n
+        ):
+            raise ValueError("trace columns must have equal lengths")
+        if validate:
+            self._validate_values()
+
+    def _validate_values(self) -> None:
+        for op in self.ops:
+            if op not in (0, 1):
+                raise ValueError(f"ops column entries must be 0/1, got {op}")
+        for lpn in self.lpns:
+            if lpn < 0:
+                raise ValueError("lpn must be non-negative")
+        for npages in self.npages:
+            if npages < 1:
+                raise ValueError("npages must be >= 1")
+        if self.arrivals is not None:
+            for arrival in self.arrivals:
+                # NaN (the closed-loop sentinel) passes; negatives do not.
+                if arrival < 0:
+                    raise ValueError("arrival_us must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_requests(
+        cls, requests: Sequence["IORequest"], name: str = "trace"
+    ) -> "ColumnarTrace":
+        """Build columns from validated :class:`IORequest` objects."""
+        from .model import OpType
+
+        write = OpType.WRITE
+        ops = array("b")
+        lpns = array("q")
+        npages = array("q")
+        arrivals = array("d")
+        any_arrival = False
+        for r in requests:
+            ops.append(1 if r.op is write else 0)
+            lpns.append(r.lpn)
+            npages.append(r.npages)
+            arrival = r.arrival_us
+            if arrival is None:
+                arrivals.append(NO_ARRIVAL)
+            else:
+                any_arrival = True
+                arrivals.append(arrival)
+        return cls(
+            ops, lpns, npages,
+            arrivals if any_arrival else None,
+            name=name, validate=False,
+        )
+
+    def to_requests(self) -> List["IORequest"]:
+        """Materialise the trace as a list of :class:`IORequest`."""
+        from .model import IORequest, OpType
+
+        write, read = OpType.WRITE, OpType.READ
+        arrivals = self.arrivals
+        if arrivals is None:
+            return [
+                IORequest(write if op else read, lpn, npages)
+                for op, lpn, npages
+                in zip(self.ops, self.lpns, self.npages)
+            ]
+        return [
+            IORequest(
+                write if op else read, lpn, npages,
+                arrival_us=None if arrival != arrival else arrival,
+            )
+            for op, lpn, npages, arrival
+            in zip(self.ops, self.lpns, self.npages, arrivals)
+        ]
+
+    def to_trace(self) -> "Trace":
+        """Wrap these columns in a :class:`Trace` facade (no copy)."""
+        from .model import Trace
+
+        return Trace.from_columnar(self)
+
+    def to_columnar(self) -> "ColumnarTrace":
+        """Self (duck-typed with :meth:`Trace.to_columnar`)."""
+        return self
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ColumnarTrace):
+            return NotImplemented
+        return (
+            self.ops == other.ops
+            and self.lpns == other.lpns
+            and self.npages == other.npages
+            and self._arrivals_equal(other)
+        )
+
+    def _arrivals_equal(self, other: "ColumnarTrace") -> bool:
+        a, b = self.arrivals, other.arrivals
+        if a is None and b is None:
+            return True
+        # None is equivalent to an all-NaN column.
+        if a is None or b is None:
+            column = b if a is None else a
+            return all(value != value for value in column)
+        if len(a) != len(b):
+            return False
+        return all(
+            x == y or (x != x and y != y) for x, y in zip(a, b)
+        )
+
+    def __hash__(self) -> None:  # pragma: no cover - mutable container
+        raise TypeError("ColumnarTrace is unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        loop = "closed" if self.arrivals is None else "open"
+        return (
+            f"ColumnarTrace({self.name!r}, {len(self)} reqs, "
+            f"{self.page_ops} page ops, {loop}-loop)"
+        )
+
+    def __reduce__(self):
+        return (
+            _rebuild,
+            (self.ops, self.lpns, self.npages, self.arrivals, self.name),
+        )
+
+    # ------------------------------------------------------------------
+    # Memoized summaries (the same accessors Trace exposes)
+    # ------------------------------------------------------------------
+    @property
+    def page_ops(self) -> int:
+        """Total page-granular operations once requests are expanded."""
+        if self._page_ops is None:
+            self._page_ops = sum(self.npages)
+        return self._page_ops
+
+    @property
+    def write_page_ops(self) -> int:
+        if self._write_page_ops is None:
+            self._write_page_ops = sum(
+                npages for op, npages in zip(self.ops, self.npages) if op
+            )
+        return self._write_page_ops
+
+    @property
+    def read_page_ops(self) -> int:
+        return self.page_ops - self.write_page_ops
+
+    @property
+    def write_ratio(self) -> float:
+        total = self.page_ops
+        return self.write_page_ops / total if total else 0.0
+
+    @property
+    def max_lpn(self) -> int:
+        """Highest logical page touched (-1 for an empty trace)."""
+        if self._max_lpn is None:
+            self._max_lpn = max(
+                (lpn + npages - 1
+                 for lpn, npages in zip(self.lpns, self.npages)),
+                default=-1,
+            )
+        return self._max_lpn
+
+    def footprint(self) -> int:
+        """Number of distinct logical pages touched."""
+        if self._footprint is None:
+            seen = set()
+            update = seen.update
+            for lpn, npages in zip(self.lpns, self.npages):
+                update(range(lpn, lpn + npages))
+            self._footprint = len(seen)
+        return self._footprint
+
+    @property
+    def has_closed_loop_requests(self) -> bool:
+        """True when any request lacks an arrival timestamp."""
+        arrivals = self.arrivals
+        if arrivals is None:
+            return len(self.ops) > 0
+        return any(value != value for value in arrivals)
+
+    def slice(self, start: int, stop: int) -> "ColumnarTrace":
+        """A sub-trace of requests [start, stop) (columns are copied)."""
+        arrivals = self.arrivals
+        return ColumnarTrace(
+            self.ops[start:stop],
+            self.lpns[start:stop],
+            self.npages[start:stop],
+            arrivals[start:stop] if arrivals is not None else None,
+            name=f"{self.name}[{start}:{stop}]",
+            validate=False,
+        )
+
+
+def _rebuild(ops, lpns, npages, arrivals, name) -> ColumnarTrace:
+    """Pickle helper: reconstruct without re-validating values."""
+    return ColumnarTrace(ops, lpns, npages, arrivals, name=name,
+                         validate=False)
+
+
+def concatenate(
+    columns: Iterable[ColumnarTrace], name: str = "concat"
+) -> ColumnarTrace:
+    """Concatenate columnar traces in order, preserving per-request
+    arrivals (closed-loop entries become NaN when any source is open-loop).
+    """
+    parts = list(columns)
+    ops = array("b")
+    lpns = array("q")
+    npages = array("q")
+    arrivals: Optional[array]
+    if all(part.arrivals is None for part in parts):
+        arrivals = None
+    else:
+        arrivals = array("d")
+    for part in parts:
+        ops.extend(part.ops)
+        lpns.extend(part.lpns)
+        npages.extend(part.npages)
+        if arrivals is not None:
+            if part.arrivals is not None:
+                arrivals.extend(part.arrivals)
+            else:
+                arrivals.extend(array("d", [NO_ARRIVAL]) * len(part))
+    return ColumnarTrace(ops, lpns, npages, arrivals, name=name,
+                         validate=False)
+
+
+def merge_by_arrival(
+    columns: Sequence[ColumnarTrace], name: str = "merged"
+) -> ColumnarTrace:
+    """Merge fully-open-loop traces, sorted by ``(arrival_us, source)``.
+
+    The tie-break is deterministic: requests with equal arrivals order by
+    source-trace index, then by position within their source - exactly the
+    order a stable sort over the concatenation produces.
+    """
+    order = sorted(
+        (part.arrivals[i], source, i)
+        for source, part in enumerate(columns)
+        for i in range(len(part))
+    )
+    ops = array("b")
+    lpns = array("q")
+    npages = array("q")
+    arrivals = array("d")
+    for arrival, source, i in order:
+        part = columns[source]
+        ops.append(part.ops[i])
+        lpns.append(part.lpns[i])
+        npages.append(part.npages[i])
+        arrivals.append(arrival)
+    return ColumnarTrace(ops, lpns, npages, arrivals, name=name,
+                         validate=False)

@@ -7,13 +7,21 @@ real trace).  Format, one request per line::
     # repro-trace v1 name=<name>
     W <lpn> <npages> [<arrival_us>]
     R <lpn> <npages> [<arrival_us>]
+
+Parsing builds the columnar form directly (no per-line ``IORequest``
+allocation), and :func:`load_trace` consults the binary trace cache
+(:mod:`repro.traces.cache`, keyed on path + mtime + size) so repeated
+loads of an unchanged file skip text parsing entirely.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, TextIO
+from array import array
+from typing import Optional, TextIO
 
-from .model import IORequest, OpType, Trace
+from . import cache as trace_cache
+from .columnar import NO_ARRIVAL, ColumnarTrace
+from .model import Trace
 
 _HEADER_PREFIX = "# repro-trace v1"
 
@@ -24,13 +32,21 @@ class TraceFormatError(ValueError):
 
 def dump_trace(trace: Trace, stream: TextIO) -> None:
     """Serialise a trace to an open text stream."""
+    cols = trace.to_columnar()
     stream.write(f"{_HEADER_PREFIX} name={trace.name}\n")
-    for r in trace:
-        code = "W" if r.is_write else "R"
-        if r.arrival_us is None:
-            stream.write(f"{code} {r.lpn} {r.npages}\n")
+    arrivals = cols.arrivals
+    if arrivals is None:
+        for op, lpn, npages in zip(cols.ops, cols.lpns, cols.npages):
+            stream.write(f"{'W' if op else 'R'} {lpn} {npages}\n")
+        return
+    for op, lpn, npages, arrival in zip(
+        cols.ops, cols.lpns, cols.npages, arrivals
+    ):
+        code = "W" if op else "R"
+        if arrival != arrival:  # NaN: closed-loop request
+            stream.write(f"{code} {lpn} {npages}\n")
         else:
-            stream.write(f"{code} {r.lpn} {r.npages} {r.arrival_us!r}\n")
+            stream.write(f"{code} {lpn} {npages} {arrival!r}\n")
 
 
 def save_trace(trace: Trace, path: str) -> None:
@@ -39,10 +55,15 @@ def save_trace(trace: Trace, path: str) -> None:
         dump_trace(trace, f)
 
 
-def parse_trace(stream: TextIO, name: Optional[str] = None) -> Trace:
-    """Deserialise a trace from an open text stream."""
-    requests: List[IORequest] = []
+def _parse_columnar(stream: TextIO, name: Optional[str]) -> ColumnarTrace:
+    """Parse the text format into columns (counted as a text parse)."""
+    trace_cache.stats.text_parses += 1
     trace_name = name or "trace"
+    ops = array("b")
+    lpns = array("q")
+    npages_col = array("q")
+    arrivals = array("d")
+    any_arrival = False
     for lineno, line in enumerate(stream, start=1):
         text = line.strip()
         if not text:
@@ -60,9 +81,9 @@ def parse_trace(stream: TextIO, name: Optional[str] = None) -> Trace:
             )
         code = parts[0].upper()
         if code == "W":
-            op = OpType.WRITE
+            op = 1
         elif code == "R":
-            op = OpType.READ
+            op = 0
         else:
             raise TraceFormatError(f"line {lineno}: unknown op {parts[0]!r}")
         try:
@@ -71,17 +92,49 @@ def parse_trace(stream: TextIO, name: Optional[str] = None) -> Trace:
             arrival = float(parts[3]) if len(parts) == 4 else None
         except ValueError as exc:
             raise TraceFormatError(f"line {lineno}: bad number") from exc
-        try:
-            requests.append(IORequest(op, lpn, npages, arrival_us=arrival))
-        except ValueError as exc:
-            raise TraceFormatError(f"line {lineno}: {exc}") from exc
-    return Trace(requests, name=trace_name)
+        # Same validation (and messages) IORequest construction applied
+        # when parsing built request objects.
+        if lpn < 0:
+            raise TraceFormatError(f"line {lineno}: lpn must be non-negative")
+        if npages < 1:
+            raise TraceFormatError(f"line {lineno}: npages must be >= 1")
+        if arrival is None:
+            arrivals.append(NO_ARRIVAL)
+        elif not arrival >= 0:  # rejects NaN too
+            raise TraceFormatError(
+                f"line {lineno}: arrival_us must be non-negative"
+            )
+        else:
+            any_arrival = True
+            arrivals.append(arrival)
+        ops.append(op)
+        lpns.append(lpn)
+        npages_col.append(npages)
+    return ColumnarTrace(
+        ops, lpns, npages_col,
+        arrivals if any_arrival else None,
+        name=trace_name, validate=False,
+    )
+
+
+def parse_trace(stream: TextIO, name: Optional[str] = None) -> Trace:
+    """Deserialise a trace from an open text stream."""
+    return Trace.from_columnar(_parse_columnar(stream, name))
 
 
 def load_trace(path: str, name: Optional[str] = None) -> Trace:
-    """Deserialise a trace from a file.
+    """Deserialise a trace from a file, via the binary cache when warm.
 
     The header's recorded name is used unless ``name`` overrides it.
+    Cache entries key on (path, mtime_ns, size): editing or touching the
+    file re-parses, an unchanged file on a second run does not.
     """
-    with open(path) as f:
-        return parse_trace(f, name=name)
+    def build() -> ColumnarTrace:
+        with open(path) as f:
+            return _parse_columnar(f, name=None)
+
+    key = trace_cache.file_key("trace-file", path)
+    cols = build() if key is None else trace_cache.fetch(key, build)
+    if name is not None:
+        cols.name = name
+    return Trace.from_columnar(cols)

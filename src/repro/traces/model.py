@@ -11,6 +11,14 @@ on the way in.  Arrival timestamps are optional:
   soon as the previous one completes, so response time equals service time.
   Synthetic generators default to closed-loop, which isolates FTL overheads
   from arrival-process artefacts.
+
+:class:`IORequest`/:class:`Trace` are the validated construction and
+test-facing API; the engine's canonical in-memory form is the columnar
+struct-of-arrays representation (:mod:`repro.traces.columnar`), which
+``Trace.to_columnar()`` produces losslessly and the replay loops iterate
+directly.  Parsers and generators build columns natively and wrap them in
+a ``Trace`` facade whose ``requests`` list materialises lazily, so a
+workload that is only ever replayed never allocates a request object.
 """
 
 from __future__ import annotations
@@ -18,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 from typing import Iterator, List, Optional, Sequence
+
+from .columnar import ColumnarTrace, concatenate, merge_by_arrival
 
 
 class OpType(Enum):
@@ -48,7 +58,9 @@ class IORequest:
             raise ValueError("lpn must be non-negative")
         if self.npages < 1:
             raise ValueError("npages must be >= 1")
-        if self.arrival_us is not None and self.arrival_us < 0:
+        # NaN is rejected too (it is the columnar closed-loop sentinel and
+        # compares false against everything): use arrival_us=None instead.
+        if self.arrival_us is not None and not self.arrival_us >= 0:
             raise ValueError("arrival_us must be non-negative")
 
     @property
@@ -62,14 +74,59 @@ class IORequest:
 
 
 class Trace:
-    """An ordered collection of :class:`IORequest` with summary accessors."""
+    """An ordered collection of :class:`IORequest` with summary accessors.
+
+    A trace is immutable by convention once constructed: ``requests`` is
+    exposed for inspection and tests, but mutating it (or the columns) is
+    unsupported - the summary accessors (:attr:`page_ops`,
+    :attr:`write_page_ops`, :attr:`max_lpn`, :meth:`footprint`, ...) are
+    memoized on first use and never invalidated.  Build a new ``Trace``
+    (or use :meth:`slice` / :meth:`scaled_to`) instead of editing one in
+    place.
+
+    Pickling ships the columnar form, not the request objects: a pickled
+    trace costs four machine-typed arrays, which is what lets parallel
+    sweeps (:mod:`repro.perf.sweep`) send workloads to worker processes
+    cheaply.
+    """
 
     def __init__(self, requests: Sequence[IORequest], name: str = "trace"):
-        self.requests: List[IORequest] = list(requests)
+        self._requests: Optional[List[IORequest]] = list(requests)
+        self._columnar: Optional[ColumnarTrace] = None
         self.name = name
 
+    @classmethod
+    def from_columnar(cls, columnar: ColumnarTrace,
+                      name: Optional[str] = None) -> "Trace":
+        """Wrap an existing columnar trace without materialising objects."""
+        trace = cls.__new__(cls)
+        trace._requests = None
+        trace._columnar = columnar
+        trace.name = name if name is not None else columnar.name
+        return trace
+
+    @property
+    def requests(self) -> List[IORequest]:
+        """The request objects (materialised lazily from the columns).
+
+        Treat as read-only: see the class docstring.
+        """
+        if self._requests is None:
+            self._requests = self._columnar.to_requests()
+        return self._requests
+
+    def to_columnar(self) -> ColumnarTrace:
+        """The canonical struct-of-arrays form (built once, then cached)."""
+        if self._columnar is None:
+            self._columnar = ColumnarTrace.from_requests(
+                self._requests, name=self.name
+            )
+        return self._columnar
+
     def __len__(self) -> int:
-        return len(self.requests)
+        if self._requests is not None:
+            return len(self._requests)
+        return len(self._columnar)
 
     def __iter__(self) -> Iterator[IORequest]:
         return iter(self.requests)
@@ -77,71 +134,91 @@ class Trace:
     def __getitem__(self, i):
         return self.requests[i]
 
+    def __getstate__(self):
+        # Ship columns across process boundaries, never object lists.
+        return {"name": self.name, "columnar": self.to_columnar()}
+
+    def __setstate__(self, state) -> None:
+        self._requests = None
+        self._columnar = state["columnar"]
+        self.name = state["name"]
+
     # ------------------------------------------------------------------
     # Summary properties used by reports and by E2 (trace characteristics)
+    # - memoized via the columnar form (each was O(n) per access before).
     # ------------------------------------------------------------------
     @property
     def page_ops(self) -> int:
         """Total page-granular operations once requests are expanded."""
-        return sum(r.npages for r in self.requests)
+        return self.to_columnar().page_ops
 
     @property
     def write_page_ops(self) -> int:
-        return sum(r.npages for r in self.requests if r.is_write)
+        return self.to_columnar().write_page_ops
 
     @property
     def read_page_ops(self) -> int:
-        return self.page_ops - self.write_page_ops
+        return self.to_columnar().read_page_ops
 
     @property
     def write_ratio(self) -> float:
         """Fraction of page operations that are writes."""
-        total = self.page_ops
-        return self.write_page_ops / total if total else 0.0
+        return self.to_columnar().write_ratio
 
     @property
     def max_lpn(self) -> int:
         """Highest logical page touched (-1 for an empty trace)."""
-        return max((r.lpn + r.npages - 1 for r in self.requests), default=-1)
+        return self.to_columnar().max_lpn
 
     def footprint(self) -> int:
         """Number of distinct logical pages touched."""
-        seen = set()
-        for r in self.requests:
-            seen.update(r.pages)
-        return len(seen)
+        return self.to_columnar().footprint()
 
     def slice(self, start: int, stop: int) -> "Trace":
         """A sub-trace of requests [start, stop)."""
-        return Trace(self.requests[start:stop], name=f"{self.name}[{start}:{stop}]")
+        if self._requests is None:
+            return Trace.from_columnar(
+                self._columnar.slice(start, stop),
+                name=f"{self.name}[{start}:{stop}]",
+            )
+        return Trace(self._requests[start:stop],
+                     name=f"{self.name}[{start}:{stop}]")
 
     def scaled_to(self, n_requests: int) -> "Trace":
         """Truncate (or cycle) the trace to exactly ``n_requests`` requests."""
-        if not self.requests:
+        if not len(self):
             raise ValueError("cannot scale an empty trace")
+        requests = self.requests
         reqs: List[IORequest] = []
         i = 0
         while len(reqs) < n_requests:
-            r = self.requests[i % len(self.requests)]
-            reqs.append(r)
+            reqs.append(requests[i % len(requests)])
             i += 1
         return Trace(reqs, name=self.name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"Trace({self.name!r}, {len(self.requests)} reqs, "
+            f"Trace({self.name!r}, {len(self)} reqs, "
             f"{self.page_ops} page ops, w={self.write_ratio:.2f})"
         )
 
 
 def merge_traces(traces: Sequence[Trace], name: str = "merged") -> Trace:
-    """Interleave open-loop traces by arrival time (or concatenate closed-loop)."""
-    if any(r.arrival_us is None for t in traces for r in t):
-        requests: List[IORequest] = []
-        for t in traces:
-            requests.extend(t.requests)
-        return Trace(requests, name=name)
-    requests = sorted(
-        (r for t in traces for r in t), key=lambda r: r.arrival_us
-    )
-    return Trace(requests, name=name)
+    """Interleave open-loop traces by arrival time (or concatenate).
+
+    When every request of every trace carries an arrival timestamp, the
+    merge sorts by ``(arrival_us, source index, position)`` - a
+    deterministic tie-break equal to a stable sort of the concatenation,
+    so two requests arriving at the same instant keep their source order.
+    If any request is closed-loop (no timestamp), interleaving by time is
+    meaningless and the traces are concatenated in the order given.
+
+    The merge happens on the columnar form directly; no request objects
+    are materialised.
+    """
+    columns = [t.to_columnar() for t in traces]
+    if any(part.has_closed_loop_requests for part in columns):
+        merged = concatenate(columns, name=name)
+    else:
+        merged = merge_by_arrival(columns, name=name)
+    return Trace.from_columnar(merged)

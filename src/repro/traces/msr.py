@@ -12,15 +12,19 @@ other staple corpus of the FTL/SSD literature.  Format: CSV lines ::
   simulator computes its own).
 
 Like the SPC parser, addresses can be compacted onto a dense page space
-(preserving overwrite behaviour) so a trace slice fits a simulated device.
+(preserving overwrite behaviour) so a trace slice fits a simulated device;
+parsing emits columns natively and :func:`parse_msr_file` is binary-cached.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from array import array
+from typing import Iterable, Optional
 
+from . import cache as trace_cache
+from .columnar import ColumnarTrace
 from .model import IORequest, OpType, Trace
-from .spc import _compact
+from .spc import _compact_columns
 
 
 class MSRFormatError(ValueError):
@@ -71,6 +75,41 @@ def parse_msr_line(
     )
 
 
+def _parse_msr_columnar(
+    lines: Iterable[str],
+    page_size: int,
+    name: str,
+    max_requests: Optional[int],
+    compact: bool,
+    rebase_time: bool,
+) -> ColumnarTrace:
+    trace_cache.stats.text_parses += 1
+    ops = array("b")
+    lpns = array("q")
+    npages = array("q")
+    arrivals = array("d")
+    count = 0
+    for line in lines:
+        request = parse_msr_line(line, page_size=page_size)
+        if request is None:
+            continue
+        ops.append(1 if request.op is OpType.WRITE else 0)
+        lpns.append(request.lpn)
+        npages.append(request.npages)
+        arrivals.append(request.arrival_us)
+        count += 1
+        if max_requests is not None and count >= max_requests:
+            break
+    if rebase_time and count:
+        t0 = min(arrivals)
+        arrivals = array("d", (t - t0 for t in arrivals))
+    cols = ColumnarTrace(ops, lpns, npages, arrivals, name=name,
+                         validate=False)
+    if compact:
+        cols = _compact_columns(cols)
+    return cols
+
+
 def parse_msr(
     lines: Iterable[str],
     page_size: int = 2048,
@@ -87,23 +126,10 @@ def parse_msr(
         rebase_time: Shift arrival timestamps so the trace starts at 0
             (filetimes are astronomically large otherwise).
     """
-    requests: List[IORequest] = []
-    for line in lines:
-        request = parse_msr_line(line, page_size=page_size)
-        if request is None:
-            continue
-        requests.append(request)
-        if max_requests is not None and len(requests) >= max_requests:
-            break
-    if rebase_time and requests:
-        t0 = min(r.arrival_us for r in requests)
-        requests = [
-            IORequest(r.op, r.lpn, r.npages, arrival_us=r.arrival_us - t0)
-            for r in requests
-        ]
-    if compact:
-        requests = _compact(requests)
-    return Trace(requests, name=name)
+    return Trace.from_columnar(_parse_msr_columnar(
+        lines, page_size=page_size, name=name, max_requests=max_requests,
+        compact=compact, rebase_time=rebase_time,
+    ))
 
 
 def parse_msr_file(
@@ -113,12 +139,19 @@ def parse_msr_file(
     max_requests: Optional[int] = None,
     compact: bool = True,
 ) -> Trace:
-    """Parse an MSR Cambridge trace file from disk."""
-    with open(path) as f:
-        return parse_msr(
-            f,
-            page_size=page_size,
-            name=name or path,
-            max_requests=max_requests,
-            compact=compact,
-        )
+    """Parse an MSR Cambridge trace file from disk (binary-cached)."""
+    def build() -> ColumnarTrace:
+        with open(path) as f:
+            return _parse_msr_columnar(
+                f, page_size=page_size, name=name or path,
+                max_requests=max_requests, compact=compact,
+                rebase_time=True,
+            )
+
+    key = trace_cache.file_key(
+        "msr-file", path,
+        page_size=page_size, max_requests=max_requests, compact=compact,
+    )
+    cols = build() if key is None else trace_cache.fetch(key, build)
+    cols.name = name or path
+    return Trace.from_columnar(cols)

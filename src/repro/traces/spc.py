@@ -13,13 +13,19 @@ The SPC trace format is CSV with fields::
 
 If you have the real ``Financial1.spc`` etc. from the UMass Trace Repository,
 :func:`parse_spc_file` turns them into :class:`~repro.traces.model.Trace`
-objects directly usable by the simulator and benchmarks.
+objects directly usable by the simulator and benchmarks.  Parsing emits
+the columnar form natively, and :func:`parse_spc_file` goes through the
+binary trace cache (keyed on path + mtime + size + parse parameters) so a
+multi-hundred-MB SPC file is tokenised once per content, not once per run.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from array import array
+from typing import Iterable, Optional
 
+from . import cache as trace_cache
+from .columnar import ColumnarTrace
 from .model import IORequest, OpType, Trace
 
 SECTOR_BYTES = 512
@@ -74,6 +80,37 @@ def parse_spc_line(
     )
 
 
+def _parse_spc_columnar(
+    lines: Iterable[str],
+    page_size: int,
+    name: str,
+    max_requests: Optional[int],
+    compact: bool,
+) -> ColumnarTrace:
+    trace_cache.stats.text_parses += 1
+    ops = array("b")
+    lpns = array("q")
+    npages = array("q")
+    arrivals = array("d")
+    count = 0
+    for line in lines:
+        req = parse_spc_line(line, page_size=page_size)
+        if req is None:
+            continue
+        ops.append(1 if req.op is OpType.WRITE else 0)
+        lpns.append(req.lpn)
+        npages.append(req.npages)
+        arrivals.append(req.arrival_us)
+        count += 1
+        if max_requests is not None and count >= max_requests:
+            break
+    cols = ColumnarTrace(ops, lpns, npages, arrivals, name=name,
+                         validate=False)
+    if compact:
+        cols = _compact_columns(cols)
+    return cols
+
+
 def parse_spc(
     lines: Iterable[str],
     page_size: int = 2048,
@@ -88,17 +125,10 @@ def parse_spc(
             (preserving relative order) so the trace fits a simulated device
             without modelling the original volume's full capacity.
     """
-    requests: List[IORequest] = []
-    for line in lines:
-        req = parse_spc_line(line, page_size=page_size)
-        if req is None:
-            continue
-        requests.append(req)
-        if max_requests is not None and len(requests) >= max_requests:
-            break
-    if compact:
-        requests = _compact(requests)
-    return Trace(requests, name=name)
+    return Trace.from_columnar(_parse_spc_columnar(
+        lines, page_size=page_size, name=name,
+        max_requests=max_requests, compact=compact,
+    ))
 
 
 def parse_spc_file(
@@ -108,18 +138,24 @@ def parse_spc_file(
     max_requests: Optional[int] = None,
     compact: bool = True,
 ) -> Trace:
-    """Parse an SPC trace file from disk."""
-    with open(path) as f:  # noqa: PTH123 - plain file handling is fine here
-        return parse_spc(
-            f,
-            page_size=page_size,
-            name=name or path,
-            max_requests=max_requests,
-            compact=compact,
-        )
+    """Parse an SPC trace file from disk (binary-cached per content/params)."""
+    def build() -> ColumnarTrace:
+        with open(path) as f:  # noqa: PTH123 - plain file handling is fine
+            return _parse_spc_columnar(
+                f, page_size=page_size, name=name or path,
+                max_requests=max_requests, compact=compact,
+            )
+
+    key = trace_cache.file_key(
+        "spc-file", path,
+        page_size=page_size, max_requests=max_requests, compact=compact,
+    )
+    cols = build() if key is None else trace_cache.fetch(key, build)
+    cols.name = name or path
+    return Trace.from_columnar(cols)
 
 
-def _compact(requests: List[IORequest]) -> List[IORequest]:
+def _compact_columns(cols: ColumnarTrace) -> ColumnarTrace:
     """Remap sparse logical pages onto a dense address space.
 
     Pages are assigned dense addresses in first-touch order, which preserves
@@ -128,10 +164,16 @@ def _compact(requests: List[IORequest]) -> List[IORequest]:
     """
     page_of: dict = {}
     next_free = 0
-    out: List[IORequest] = []
-    for r in requests:
+    src_arrivals = cols.arrivals
+    out_ops = array("b")
+    out_lpns = array("q")
+    out_npages = array("q")
+    out_arrivals = array("d") if src_arrivals is not None else None
+    for i, (op, lpn, npages) in enumerate(
+        zip(cols.ops, cols.lpns, cols.npages)
+    ):
         mapped = []
-        for page in r.pages:
+        for page in range(lpn, lpn + npages):
             if page not in page_of:
                 page_of[page] = next_free
                 next_free += 1
@@ -142,7 +184,16 @@ def _compact(requests: List[IORequest]) -> List[IORequest]:
             if m == run_start + run_len:
                 run_len += 1
             else:
-                out.append(IORequest(r.op, run_start, run_len, arrival_us=r.arrival_us))
+                out_ops.append(op)
+                out_lpns.append(run_start)
+                out_npages.append(run_len)
+                if out_arrivals is not None:
+                    out_arrivals.append(src_arrivals[i])
                 run_start, run_len = m, 1
-        out.append(IORequest(r.op, run_start, run_len, arrival_us=r.arrival_us))
-    return out
+        out_ops.append(op)
+        out_lpns.append(run_start)
+        out_npages.append(run_len)
+        if out_arrivals is not None:
+            out_arrivals.append(src_arrivals[i])
+    return ColumnarTrace(out_ops, out_lpns, out_npages, out_arrivals,
+                         name=cols.name, validate=False)

@@ -9,15 +9,21 @@ literature uses to separate scheme behaviours:
 * hot/cold and zipf skew drive garbage-collection efficiency and the hot-cold
   separation logic of LazyFTL's update/cold areas.
 
-All generators are deterministic given ``seed``.
+All generators are deterministic given ``seed``; each emits the columnar
+form natively (no ``IORequest`` allocation) and is memoised in the binary
+trace cache keyed on its full parameter set, so a repeated benchmark run
+loads the columns from disk instead of re-running the RNG loop.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from array import array
+from typing import Optional
 
-from .model import IORequest, OpType, Trace
+from . import cache as trace_cache
+from .columnar import ColumnarTrace
+from .model import Trace
 
 
 def _sizes(rng: random.Random, max_pages: int) -> int:
@@ -29,6 +35,18 @@ def _sizes(rng: random.Random, max_pages: int) -> int:
     while size < max_pages and rng.random() < 0.3:
         size += 1
     return size
+
+
+def _cached(key: dict, default_name: str, name: Optional[str], build) -> Trace:
+    """Fetch-or-build columns, then apply the caller's name override.
+
+    The name is not part of the cache key (two calls differing only in
+    ``name`` share an entry); it is stamped on the freshly-loaded columns
+    after the fetch.
+    """
+    cols = trace_cache.fetch(key, build)
+    cols.name = name or default_name
+    return Trace.from_columnar(cols)
 
 
 def uniform_random(
@@ -45,14 +63,26 @@ def uniform_random(
     random logical block, defeating any block-level locality assumption.
     """
     _check_common(n_requests, footprint_pages, write_ratio)
-    rng = random.Random(seed)
-    requests: List[IORequest] = []
-    for _ in range(n_requests):
-        npages = _sizes(rng, max_request_pages)
-        lpn = rng.randrange(max(1, footprint_pages - npages + 1))
-        op = OpType.WRITE if rng.random() < write_ratio else OpType.READ
-        requests.append(IORequest(op, lpn, npages))
-    return Trace(requests, name=name or f"random-w{write_ratio:.2f}")
+
+    def build() -> ColumnarTrace:
+        rng = random.Random(seed)
+        ops = array("b")
+        lpns = array("q")
+        npages_col = array("q")
+        for _ in range(n_requests):
+            npages = _sizes(rng, max_request_pages)
+            lpn = rng.randrange(max(1, footprint_pages - npages + 1))
+            ops.append(1 if rng.random() < write_ratio else 0)
+            lpns.append(lpn)
+            npages_col.append(npages)
+        return ColumnarTrace(ops, lpns, npages_col, validate=False)
+
+    key = trace_cache.params_key(
+        "synthetic:uniform_random", n=n_requests, footprint=footprint_pages,
+        write_ratio=write_ratio, max_request_pages=max_request_pages,
+        seed=seed,
+    )
+    return _cached(key, f"random-w{write_ratio:.2f}", name, build)
 
 
 def sequential(
@@ -69,17 +99,28 @@ def sequential(
     baseline where all FTLs should be close to the ideal scheme.
     """
     _check_common(n_requests, footprint_pages, write_ratio)
-    rng = random.Random(seed)
-    requests: List[IORequest] = []
-    lpn = 0
-    for _ in range(n_requests):
-        npages = min(request_pages, footprint_pages - lpn)
-        op = OpType.WRITE if rng.random() < write_ratio else OpType.READ
-        requests.append(IORequest(op, lpn, npages))
-        lpn += npages
-        if lpn >= footprint_pages:
-            lpn = 0
-    return Trace(requests, name=name or "sequential")
+
+    def build() -> ColumnarTrace:
+        rng = random.Random(seed)
+        ops = array("b")
+        lpns = array("q")
+        npages_col = array("q")
+        lpn = 0
+        for _ in range(n_requests):
+            npages = min(request_pages, footprint_pages - lpn)
+            ops.append(1 if rng.random() < write_ratio else 0)
+            lpns.append(lpn)
+            npages_col.append(npages)
+            lpn += npages
+            if lpn >= footprint_pages:
+                lpn = 0
+        return ColumnarTrace(ops, lpns, npages_col, validate=False)
+
+    key = trace_cache.params_key(
+        "synthetic:sequential", n=n_requests, footprint=footprint_pages,
+        write_ratio=write_ratio, request_pages=request_pages, seed=seed,
+    )
+    return _cached(key, "sequential", name, build)
 
 
 def hot_cold(
@@ -103,20 +144,33 @@ def hot_cold(
         raise ValueError("hot_fraction must be in (0, 1]")
     if not 0.0 <= hot_probability <= 1.0:
         raise ValueError("hot_probability must be in [0, 1]")
-    rng = random.Random(seed)
-    hot_pages = max(1, int(footprint_pages * hot_fraction))
-    requests: List[IORequest] = []
-    for _ in range(n_requests):
-        npages = _sizes(rng, max_request_pages)
-        if rng.random() < hot_probability:
-            lpn = rng.randrange(max(1, hot_pages - npages + 1))
-        else:
-            lo = hot_pages
-            hi = max(lo + 1, footprint_pages - npages + 1)
-            lpn = rng.randrange(lo, hi)
-        op = OpType.WRITE if rng.random() < write_ratio else OpType.READ
-        requests.append(IORequest(op, lpn, min(npages, footprint_pages - lpn)))
-    return Trace(requests, name=name or "hot-cold")
+
+    def build() -> ColumnarTrace:
+        rng = random.Random(seed)
+        hot_pages = max(1, int(footprint_pages * hot_fraction))
+        ops = array("b")
+        lpns = array("q")
+        npages_col = array("q")
+        for _ in range(n_requests):
+            npages = _sizes(rng, max_request_pages)
+            if rng.random() < hot_probability:
+                lpn = rng.randrange(max(1, hot_pages - npages + 1))
+            else:
+                lo = hot_pages
+                hi = max(lo + 1, footprint_pages - npages + 1)
+                lpn = rng.randrange(lo, hi)
+            ops.append(1 if rng.random() < write_ratio else 0)
+            lpns.append(lpn)
+            npages_col.append(min(npages, footprint_pages - lpn))
+        return ColumnarTrace(ops, lpns, npages_col, validate=False)
+
+    key = trace_cache.params_key(
+        "synthetic:hot_cold", n=n_requests, footprint=footprint_pages,
+        write_ratio=write_ratio, hot_fraction=hot_fraction,
+        hot_probability=hot_probability,
+        max_request_pages=max_request_pages, seed=seed,
+    )
+    return _cached(key, "hot-cold", name, build)
 
 
 def zipf(
@@ -137,22 +191,34 @@ def zipf(
     _check_common(n_requests, footprint_pages, write_ratio)
     if not 0.0 < theta < 1.0:
         raise ValueError("theta must be in (0, 1)")
-    rng = random.Random(seed)
-    scatter = 2654435761 % footprint_pages or 1  # Knuth multiplicative hash
-    if scatter % 2 == 0:
-        scatter += 1
-    requests: List[IORequest] = []
-    exponent = 1.0 / (1.0 - theta)
-    for _ in range(n_requests):
-        u = rng.random()
-        rank = int(footprint_pages * (u ** exponent))
-        rank = min(rank, footprint_pages - 1)
-        lpn = (rank * scatter) % footprint_pages
-        npages = _sizes(rng, max_request_pages)
-        npages = min(npages, footprint_pages - lpn)
-        op = OpType.WRITE if rng.random() < write_ratio else OpType.READ
-        requests.append(IORequest(op, lpn, npages))
-    return Trace(requests, name=name or f"zipf-{theta}")
+
+    def build() -> ColumnarTrace:
+        rng = random.Random(seed)
+        scatter = 2654435761 % footprint_pages or 1  # Knuth multiplicative hash
+        if scatter % 2 == 0:
+            scatter += 1
+        ops = array("b")
+        lpns = array("q")
+        npages_col = array("q")
+        exponent = 1.0 / (1.0 - theta)
+        for _ in range(n_requests):
+            u = rng.random()
+            rank = int(footprint_pages * (u ** exponent))
+            rank = min(rank, footprint_pages - 1)
+            lpn = (rank * scatter) % footprint_pages
+            npages = _sizes(rng, max_request_pages)
+            npages = min(npages, footprint_pages - lpn)
+            ops.append(1 if rng.random() < write_ratio else 0)
+            lpns.append(lpn)
+            npages_col.append(npages)
+        return ColumnarTrace(ops, lpns, npages_col, validate=False)
+
+    key = trace_cache.params_key(
+        "synthetic:zipf", n=n_requests, footprint=footprint_pages,
+        write_ratio=write_ratio, theta=theta,
+        max_request_pages=max_request_pages, seed=seed,
+    )
+    return _cached(key, f"zipf-{theta}", name, build)
 
 
 def mixed(
@@ -171,19 +237,31 @@ def mixed(
     _check_common(n_requests, footprint_pages, write_ratio)
     if not 0.0 <= sequential_fraction <= 1.0:
         raise ValueError("sequential_fraction must be in [0, 1]")
-    rng = random.Random(seed)
-    requests: List[IORequest] = []
-    cursor = 0
-    for _ in range(n_requests):
-        if rng.random() < sequential_fraction:
-            lpn = cursor
-            cursor = (cursor + 1) % footprint_pages
-        else:
-            lpn = rng.randrange(footprint_pages)
-            cursor = (lpn + 1) % footprint_pages
-        op = OpType.WRITE if rng.random() < write_ratio else OpType.READ
-        requests.append(IORequest(op, lpn, 1))
-    return Trace(requests, name=name or "mixed")
+
+    def build() -> ColumnarTrace:
+        rng = random.Random(seed)
+        ops = array("b")
+        lpns = array("q")
+        npages_col = array("q")
+        cursor = 0
+        for _ in range(n_requests):
+            if rng.random() < sequential_fraction:
+                lpn = cursor
+                cursor = (cursor + 1) % footprint_pages
+            else:
+                lpn = rng.randrange(footprint_pages)
+                cursor = (lpn + 1) % footprint_pages
+            ops.append(1 if rng.random() < write_ratio else 0)
+            lpns.append(lpn)
+            npages_col.append(1)
+        return ColumnarTrace(ops, lpns, npages_col, validate=False)
+
+    key = trace_cache.params_key(
+        "synthetic:mixed", n=n_requests, footprint=footprint_pages,
+        sequential_fraction=sequential_fraction, write_ratio=write_ratio,
+        seed=seed,
+    )
+    return _cached(key, "mixed", name, build)
 
 
 def warmup_fill(
@@ -199,13 +277,25 @@ def warmup_fill(
     """
     if footprint_pages <= 0:
         raise ValueError("footprint_pages must be positive")
-    requests: List[IORequest] = []
-    lpn = 0
-    while lpn < footprint_pages:
-        npages = min(request_pages, footprint_pages - lpn)
-        requests.append(IORequest(OpType.WRITE, lpn, npages))
-        lpn += npages
-    return Trace(requests, name=name)
+
+    def build() -> ColumnarTrace:
+        ops = array("b")
+        lpns = array("q")
+        npages_col = array("q")
+        lpn = 0
+        while lpn < footprint_pages:
+            npages = min(request_pages, footprint_pages - lpn)
+            ops.append(1)
+            lpns.append(lpn)
+            npages_col.append(npages)
+            lpn += npages
+        return ColumnarTrace(ops, lpns, npages_col, validate=False)
+
+    key = trace_cache.params_key(
+        "synthetic:warmup_fill", footprint=footprint_pages,
+        request_pages=request_pages,
+    )
+    return _cached(key, "warmup-fill", name, build)
 
 
 def _check_common(n_requests: int, footprint_pages: int, write_ratio: float) -> None:

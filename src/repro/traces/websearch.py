@@ -10,9 +10,12 @@ the complementary regime to Financial1.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from array import array
+from typing import Optional
 
-from .model import IORequest, OpType, Trace
+from . import cache as trace_cache
+from .columnar import ColumnarTrace
+from .model import Trace
 
 
 def websearch(
@@ -30,18 +33,32 @@ def websearch(
         raise ValueError("footprint_pages too small")
     if not 0.0 < theta < 1.0:
         raise ValueError("theta must be in (0, 1)")
-    rng = random.Random(seed)
-    exponent = 1.0 / (1.0 - theta)
-    scatter = 2654435761 % footprint_pages or 1
-    if scatter % 2 == 0:
-        scatter += 1
-    requests: List[IORequest] = []
-    for _ in range(n_requests):
-        u = rng.random()
-        rank = min(int(footprint_pages * (u ** exponent)), footprint_pages - 1)
-        lpn = (rank * scatter) % footprint_pages
-        npages = rng.choice((4, 4, 8, 8, 8, 16))  # 8-32 KiB on 2 KiB pages
-        npages = min(npages, footprint_pages - lpn)
-        op = OpType.WRITE if rng.random() < write_ratio else OpType.READ
-        requests.append(IORequest(op, lpn, npages))
-    return Trace(requests, name=name or "websearch")
+
+    def build() -> ColumnarTrace:
+        rng = random.Random(seed)
+        exponent = 1.0 / (1.0 - theta)
+        scatter = 2654435761 % footprint_pages or 1
+        if scatter % 2 == 0:
+            scatter += 1
+        ops = array("b")
+        lpns = array("q")
+        npages_col = array("q")
+        for _ in range(n_requests):
+            u = rng.random()
+            rank = min(int(footprint_pages * (u ** exponent)),
+                       footprint_pages - 1)
+            lpn = (rank * scatter) % footprint_pages
+            npages = rng.choice((4, 4, 8, 8, 8, 16))  # 8-32 KiB on 2 KiB pages
+            npages = min(npages, footprint_pages - lpn)
+            ops.append(1 if rng.random() < write_ratio else 0)
+            lpns.append(lpn)
+            npages_col.append(npages)
+        return ColumnarTrace(ops, lpns, npages_col, validate=False)
+
+    key = trace_cache.params_key(
+        "synthetic:websearch", n=n_requests, footprint=footprint_pages,
+        seed=seed, write_ratio=write_ratio, theta=theta,
+    )
+    cols = trace_cache.fetch(key, build)
+    cols.name = name or "websearch"
+    return Trace.from_columnar(cols)

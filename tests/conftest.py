@@ -1,8 +1,26 @@
-"""Test configuration: make ``src/`` importable even without installation."""
+"""Test configuration: make ``src/`` importable even without installation,
+and point the binary trace cache at a per-session temporary directory so
+tests never read or write the developer's ``~/.cache/repro-traces``
+(hermeticity: a stale user cache could otherwise mask a generator change,
+and tests would pollute it in return)."""
 
+import os
 import pathlib
 import sys
+import tempfile
 
 SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
+
+# Set the env var before any repro import resolves the cache location.
+_CACHE_TMP = tempfile.mkdtemp(prefix="repro-trace-cache-")
+os.environ["REPRO_TRACE_CACHE_DIR"] = _CACHE_TMP
+
+
+def pytest_configure(config):
+    # If repro.traces.cache was imported (and resolved) before this
+    # conftest ran - e.g. by a plugin - re-pin it to the tmp directory.
+    from repro.traces import cache
+
+    cache.configure(_CACHE_TMP)

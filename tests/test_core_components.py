@@ -86,6 +86,37 @@ class TestUMT:
         assert other.get(2) == UmtEntry(20, True)
         assert len(other) == 2
 
+    def test_discard_tvpn_drops_exactly_one_pages_entries(self):
+        umt = UpdateMappingTable(entries_per_page=16)
+        # lpns 0, 15 -> tvpn 0; lpns 16, 31 -> tvpn 1.
+        for lpn in (0, 15, 16, 31):
+            umt.set(lpn, 100 + lpn, cold=(lpn == 15))
+        umt.discard_tvpn(0)
+        assert 0 not in umt and 15 not in umt
+        assert umt.get(16) == UmtEntry(116, False)
+        assert umt.get(31) == UmtEntry(131, False)
+        assert len(umt) == 2
+        assert sorted(lpn for lpn, _ in umt.items()) == [16, 31]
+
+    def test_discard_tvpn_matches_per_lpn_pops(self):
+        bulk = UpdateMappingTable(entries_per_page=16)
+        one_by_one = UpdateMappingTable(entries_per_page=16)
+        for lpn in (1, 3, 14, 20):
+            bulk.set(lpn, 50 + lpn, cold=bool(lpn % 2))
+            one_by_one.set(lpn, 50 + lpn, cold=bool(lpn % 2))
+        bulk.discard_tvpn(0)
+        for lpn in (1, 3, 14):
+            one_by_one.pop(lpn)
+        assert bulk.snapshot() == one_by_one.snapshot()
+        assert len(bulk) == len(one_by_one) == 1
+
+    def test_discard_missing_tvpn_is_a_noop(self):
+        umt = UpdateMappingTable()
+        umt.set(1, 10)
+        umt.discard_tvpn(99)
+        assert umt.get(1) == UmtEntry(10, False)
+        assert len(umt) == 1
+
 
 class TestGroupByTvpn:
     def test_groups_by_mapping_page(self):

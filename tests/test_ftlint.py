@@ -356,6 +356,70 @@ class TestFTL007DictMaps:
         """, scope="ftl") == []
 
 
+class TestFTL008ReplayAttrs:
+    SIM_PATH = "src/repro/sim/simulator.py"
+
+    def sim_lint(self, source, path=None):
+        return [
+            v.rule_id
+            for v in lint_source(textwrap.dedent(source),
+                                 path=path or self.SIM_PATH, scope="sim")
+        ]
+
+    def test_request_attribute_in_replay_loop_flagged(self):
+        assert self.sim_lint("""
+            def _replay_fast(self, trace, responses):
+                for request in trace.requests:
+                    if request.op is OpType.WRITE:
+                        pass
+        """) == ["FTL008"]
+
+    def test_is_write_and_pages_flagged(self):
+        assert self.sim_lint("""
+            def warm_up(self, trace):
+                for request in trace.requests:
+                    if request.is_write:
+                        for p in request.pages:
+                            pass
+        """) == ["FTL008", "FTL008"]
+
+    def test_columnar_npages_column_not_flagged(self):
+        # cols.npages is a legitimate ColumnarTrace column read.
+        assert self.sim_lint("""
+            def _replay_fast(self, trace, responses):
+                cols = trace.to_columnar()
+                for op, lpn, npages in zip(cols.ops, cols.lpns, cols.npages):
+                    pass
+        """) == []
+
+    def test_outside_replay_functions_not_flagged(self):
+        assert self.sim_lint("""
+            def run(self, trace):
+                return trace.requests[0].op
+        """) == []
+
+    def test_other_files_in_sim_scope_not_flagged(self):
+        assert self.sim_lint("""
+            def _replay_fast(self, trace, responses):
+                return trace.requests[0].op
+        """, path="src/repro/sim/runner.py") == []
+
+    def test_per_line_disable(self):
+        assert self.sim_lint("""
+            def _replay_traced(self, trace, responses, tracer):
+                first = trace.requests[0]
+                return first.arrival_us  # ftlint: disable=FTL008
+        """) == []
+
+    def test_nested_helper_inside_replay_function_flagged(self):
+        assert self.sim_lint("""
+            def _replay_fast(self, trace, responses):
+                def peek(request):
+                    return request.lpn
+                return peek
+        """) == ["FTL008"]
+
+
 class TestEngine:
     def test_inline_suppression_bare(self):
         assert rule_ids("""
@@ -394,7 +458,7 @@ class TestEngine:
 
     def test_every_rule_has_id_and_message(self):
         ids = [rule.RULE_ID for rule in ALL_RULES]
-        assert len(ids) == len(set(ids)) == 7
+        assert len(ids) == len(set(ids)) == 8
         assert all(rule.MESSAGE for rule in ALL_RULES)
 
 

@@ -1,0 +1,357 @@
+"""Satellite tests for the columnar trace engine and binary trace cache.
+
+Covers the PR-4 pipeline end to end: lossless ``Trace`` <->
+``ColumnarTrace`` round-trips (property-style over seeded random
+workloads), the ``.rtc`` binary format, cache hit/miss/invalidation
+semantics (mtime bump, parameter change, format-version bump, corrupt
+file fallback), the merged columnar path against the object path, and
+the headline acceptance property: a second invocation of the benchmark
+workload build performs zero trace text parsing.
+"""
+
+import importlib.util
+import math
+import os
+import pathlib
+import random
+
+import pytest
+
+from repro.traces import cache as trace_cache
+from repro.traces import load_trace, save_trace, uniform_random
+from repro.traces.columnar import NO_ARRIVAL, ColumnarTrace
+from repro.traces.model import IORequest, OpType, Trace, merge_traces
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture
+def fresh_cache(tmp_path):
+    """A private, empty cache directory with zeroed counters.
+
+    Restores the session-wide test cache (tests/conftest.py points it at
+    a per-session temporary directory via ``REPRO_TRACE_CACHE_DIR``)
+    afterwards so other tests keep their warm entries.
+    """
+    trace_cache.configure(tmp_path / "trace-cache")
+    trace_cache.stats.reset()
+    yield trace_cache
+    trace_cache.stats.reset()
+    trace_cache.configure()
+
+
+def random_requests(rng, n, open_loop_fraction=0.5):
+    """A mixed workload: multi-page requests, some with arrivals."""
+    requests = []
+    clock = 0.0
+    for _ in range(n):
+        op = OpType.WRITE if rng.random() < 0.6 else OpType.READ
+        arrival = None
+        if rng.random() < open_loop_fraction:
+            clock += rng.random() * 10.0
+            arrival = clock
+        requests.append(
+            IORequest(op, rng.randrange(0, 500), 1 + rng.randrange(4),
+                      arrival_us=arrival)
+        )
+    return requests
+
+
+class TestColumnarRoundTrip:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("open_loop_fraction", [0.0, 0.5, 1.0])
+    def test_requests_columns_requests(self, seed, open_loop_fraction):
+        rng = random.Random(seed)
+        requests = random_requests(rng, 200, open_loop_fraction)
+        cols = ColumnarTrace.from_requests(requests, name="rt")
+        assert cols.to_requests() == requests
+        # Equality holds at the columnar layer too.
+        assert ColumnarTrace.from_requests(cols.to_requests()) == cols
+
+    def test_trace_facade_round_trip(self):
+        rng = random.Random(7)
+        requests = random_requests(rng, 100)
+        trace = Trace(requests, name="facade")
+        rebuilt = trace.to_columnar().to_trace()
+        assert rebuilt.requests == requests
+        assert rebuilt.page_ops == trace.page_ops
+        assert rebuilt.footprint() == trace.footprint()
+        assert rebuilt.max_lpn == trace.max_lpn
+
+    def test_fully_closed_loop_drops_arrival_column(self):
+        requests = [IORequest(OpType.WRITE, i, 1) for i in range(5)]
+        cols = ColumnarTrace.from_requests(requests)
+        assert cols.arrivals is None
+        assert cols.to_requests() == requests
+
+    def test_mixed_loop_uses_nan_sentinel(self):
+        requests = [
+            IORequest(OpType.WRITE, 0, 1, arrival_us=5.0),
+            IORequest(OpType.READ, 1, 2),
+            IORequest(OpType.WRITE, 2, 1, arrival_us=9.5),
+        ]
+        cols = ColumnarTrace.from_requests(requests)
+        assert list(cols.arrivals)[0] == 5.0
+        assert math.isnan(cols.arrivals[1])
+        # The sentinel converts back to arrival_us=None, losslessly.
+        assert cols.to_requests() == requests
+
+    def test_none_arrivals_equal_all_nan_column(self):
+        closed = ColumnarTrace([1], [0], [1], None)
+        sentinel = ColumnarTrace([1], [0], [1], [NO_ARRIVAL])
+        assert closed == sentinel
+        assert sentinel == closed
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(ops=[2], lpns=[0], npages=[1]),
+        dict(ops=[1], lpns=[-1], npages=[1]),
+        dict(ops=[1], lpns=[0], npages=[0]),
+        dict(ops=[1], lpns=[0], npages=[1], arrivals=[-1.0]),
+        dict(ops=[1, 0], lpns=[0], npages=[1]),
+        dict(ops=[1], lpns=[0], npages=[1], arrivals=[1.0, 2.0]),
+    ])
+    def test_invalid_columns_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ColumnarTrace(**kwargs)
+
+    def test_summaries_match_object_layer(self):
+        rng = random.Random(11)
+        requests = random_requests(rng, 150)
+        cols = ColumnarTrace.from_requests(requests)
+        assert cols.page_ops == sum(r.npages for r in requests)
+        assert cols.write_page_ops == sum(
+            r.npages for r in requests if r.is_write
+        )
+        assert cols.max_lpn == max(
+            r.lpn + r.npages - 1 for r in requests
+        )
+        assert cols.footprint() == len(
+            {p for r in requests for p in r.pages}
+        )
+
+
+class TestBinaryFormat:
+    def round_trip(self, cols):
+        return trace_cache.loads_columnar(trace_cache.dumps_columnar(cols))
+
+    def test_round_trip_preserves_columns_and_name(self):
+        rng = random.Random(3)
+        cols = ColumnarTrace.from_requests(
+            random_requests(rng, 120), name="binary-rt"
+        )
+        loaded = self.round_trip(cols)
+        assert loaded == cols
+        assert loaded.name == "binary-rt"
+
+    def test_round_trip_closed_loop(self):
+        cols = ColumnarTrace([1, 0], [4, 9], [2, 1], None, name="cl")
+        loaded = self.round_trip(cols)
+        assert loaded == cols and loaded.arrivals is None
+
+    def test_bad_magic_rejected(self):
+        data = trace_cache.dumps_columnar(ColumnarTrace([1], [0], [1]))
+        assert trace_cache.loads_columnar(b"XXXX" + data[4:]) is None
+
+    def test_truncated_payload_rejected(self):
+        data = trace_cache.dumps_columnar(ColumnarTrace([1], [0], [1]))
+        assert trace_cache.loads_columnar(data[:-3]) is None
+        assert trace_cache.loads_columnar(data[:4]) is None
+
+    def test_flipped_payload_byte_fails_crc(self):
+        data = bytearray(
+            trace_cache.dumps_columnar(ColumnarTrace([1], [0], [1]))
+        )
+        data[-1] ^= 0xFF
+        assert trace_cache.loads_columnar(bytes(data)) is None
+
+    def test_future_format_version_rejected(self):
+        data = bytearray(
+            trace_cache.dumps_columnar(ColumnarTrace([1], [0], [1]))
+        )
+        data[4] ^= 0xFF  # version field follows the 4-byte magic
+        assert trace_cache.loads_columnar(bytes(data)) is None
+
+
+class TestCacheInvalidation:
+    def write_trace_file(self, tmp_path, n=50, seed=0):
+        path = tmp_path / "w.trace"
+        save_trace(uniform_random(n, 256, seed=seed, name="w"), str(path))
+        # The generator above also runs through the cache; zero the
+        # counters so each test observes only its own load_trace calls.
+        trace_cache.stats.reset()
+        return path
+
+    def test_second_load_hits_without_text_parse(self, fresh_cache, tmp_path):
+        path = self.write_trace_file(tmp_path)
+        first = load_trace(str(path))
+        assert fresh_cache.stats.misses == 1
+        assert fresh_cache.stats.text_parses == 1
+        assert fresh_cache.stats.stores == 1
+        fresh_cache.stats.reset()
+        second = load_trace(str(path))
+        assert fresh_cache.stats.hits == 1
+        assert fresh_cache.stats.text_parses == 0
+        assert fresh_cache.stats.builds == 0
+        assert second.to_columnar() == first.to_columnar()
+        assert second.name == first.name
+
+    def test_mtime_bump_invalidates(self, fresh_cache, tmp_path):
+        path = self.write_trace_file(tmp_path)
+        load_trace(str(path))
+        st = os.stat(path)
+        os.utime(path, ns=(st.st_atime_ns, st.st_mtime_ns + 1_000_000))
+        fresh_cache.stats.reset()
+        load_trace(str(path))
+        assert fresh_cache.stats.misses == 1
+        assert fresh_cache.stats.text_parses == 1
+
+    def test_content_edit_invalidates(self, fresh_cache, tmp_path):
+        path = self.write_trace_file(tmp_path)
+        load_trace(str(path))
+        with open(path, "a") as f:
+            f.write("W 7 1\n")
+        fresh_cache.stats.reset()
+        reloaded = load_trace(str(path))
+        assert fresh_cache.stats.misses == 1
+        assert reloaded.requests[-1] == IORequest(OpType.WRITE, 7, 1)
+
+    def test_generator_param_change_misses(self, fresh_cache):
+        uniform_random(40, 128, seed=0)
+        fresh_cache.stats.reset()
+        uniform_random(40, 128, seed=1)
+        assert fresh_cache.stats.misses == 1
+        fresh_cache.stats.reset()
+        uniform_random(40, 128, seed=0)
+        assert fresh_cache.stats.hits == 1
+        assert fresh_cache.stats.builds == 0
+
+    def test_generator_second_run_identical(self, fresh_cache):
+        cold = uniform_random(60, 128, seed=5)
+        warm = uniform_random(60, 128, seed=5)
+        assert fresh_cache.stats.hits == 1
+        assert warm.to_columnar() == cold.to_columnar()
+
+    def test_format_version_bump_invalidates(self, fresh_cache, tmp_path,
+                                             monkeypatch):
+        path = self.write_trace_file(tmp_path)
+        load_trace(str(path))
+        monkeypatch.setattr(trace_cache, "FORMAT_VERSION",
+                            trace_cache.FORMAT_VERSION + 1)
+        fresh_cache.stats.reset()
+        load_trace(str(path))
+        # The version is part of the key, so a bump misses cleanly (it
+        # never even finds, let alone mis-reads, the old-format file).
+        assert fresh_cache.stats.misses == 1
+        assert fresh_cache.stats.text_parses == 1
+
+    def test_corrupt_cache_file_falls_back_to_parse(self, fresh_cache,
+                                                    tmp_path):
+        path = self.write_trace_file(tmp_path)
+        first = load_trace(str(path))
+        key = trace_cache.file_key("trace-file", str(path))
+        cache_file = fresh_cache.active().path_for(key)
+        assert cache_file.exists()
+        cache_file.write_bytes(b"not a trace cache file")
+        fresh_cache.stats.reset()
+        recovered = load_trace(str(path))
+        assert fresh_cache.stats.misses == 1
+        assert fresh_cache.stats.text_parses == 1
+        assert fresh_cache.stats.stores == 1  # rebuilt and re-persisted
+        assert recovered.to_columnar() == first.to_columnar()
+
+    def test_disabled_cache_always_builds(self, tmp_path):
+        trace_cache.configure(enabled=False)
+        try:
+            trace_cache.stats.reset()
+            path = self.write_trace_file(tmp_path)
+            load_trace(str(path))
+            load_trace(str(path))
+            assert trace_cache.stats.builds == 2
+            assert trace_cache.stats.hits == 0
+            assert trace_cache.stats.stores == 0
+        finally:
+            trace_cache.stats.reset()
+            trace_cache.configure()
+
+    def test_store_failure_degrades_gracefully(self, tmp_path, monkeypatch):
+        # A cache rooted somewhere unwritable builds in memory instead.
+        blocked = tmp_path / "blocked"
+        blocked.write_text("a file, not a directory")
+        trace_cache.configure(blocked / "sub")
+        try:
+            trace_cache.stats.reset()
+            trace = uniform_random(30, 64, seed=2)
+            assert len(trace) == 30
+            assert trace_cache.stats.stores == 0
+            assert trace_cache.stats.builds == 1
+        finally:
+            trace_cache.stats.reset()
+            trace_cache.configure()
+
+
+class TestMergedColumnarPath:
+    def test_merge_matches_object_path_with_tie_break(self):
+        a = Trace([
+            IORequest(OpType.WRITE, 0, 1, arrival_us=10.0),
+            IORequest(OpType.WRITE, 1, 1, arrival_us=20.0),
+        ], name="a")
+        b = Trace([
+            IORequest(OpType.READ, 2, 1, arrival_us=10.0),
+            IORequest(OpType.READ, 3, 1, arrival_us=15.0),
+        ], name="b")
+        merged = merge_traces([a, b], name="m")
+        # Object-path reference: stable sort of the concatenation by
+        # arrival keeps source order on ties (a's 10.0 before b's 10.0).
+        reference = sorted(
+            a.requests + b.requests, key=lambda r: r.arrival_us
+        )
+        assert merged.requests == reference
+        assert [r.lpn for r in merged.requests] == [0, 2, 3, 1]
+
+    def test_merge_deterministic_across_repeats(self):
+        rng = random.Random(13)
+        # Coarse timestamps force plenty of equal-arrival collisions.
+        traces = [
+            Trace([
+                IORequest(OpType.WRITE, rng.randrange(100), 1,
+                          arrival_us=float(rng.randrange(8)))
+                for _ in range(40)
+            ], name=f"t{i}")
+            for i in range(3)
+        ]
+        first = merge_traces(traces).to_columnar()
+        for _ in range(3):
+            assert merge_traces(traces).to_columnar() == first
+
+    def test_any_closed_loop_request_concatenates(self):
+        a = Trace([IORequest(OpType.WRITE, 0, 1, arrival_us=50.0)])
+        b = Trace([IORequest(OpType.WRITE, 1, 1)])
+        merged = merge_traces([a, b])
+        assert [r.lpn for r in merged.requests] == [0, 1]
+        assert merged.requests[1].arrival_us is None
+
+
+class TestBenchSecondInvocationZeroTextParse:
+    """Acceptance: re-running a bench module re-parses no trace text."""
+
+    def load_bench_conftest(self):
+        spec = importlib.util.spec_from_file_location(
+            "bench_conftest", REPO / "benchmarks" / "conftest.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_headline_workloads_second_build_is_all_hits(self, fresh_cache):
+        bench = self.load_bench_conftest()
+        cold = bench.headline_traces(footprint=2048)
+        assert fresh_cache.stats.builds == len(cold)
+        fresh_cache.stats.reset()
+        warm = bench.headline_traces(footprint=2048)
+        # Zero text parsing *and* zero generator re-runs on the second
+        # invocation: every workload loads from the binary cache.
+        assert fresh_cache.stats.text_parses == 0
+        assert fresh_cache.stats.builds == 0
+        assert fresh_cache.stats.hits == len(warm)
+        for one, two in zip(cold, warm):
+            assert two.to_columnar() == one.to_columnar()
