@@ -1,0 +1,238 @@
+"""Shadow acknowledged-state model and the differential durability oracle.
+
+The model checker replays a workload against a real FTL while this module
+tracks what the host is *entitled to* after a crash.  The rules, in order
+of strictness:
+
+* **Acknowledged write** - once ``write(lpn, v)`` returns, ``v`` is
+  durable: every post-recovery read of ``lpn`` must return exactly ``v``.
+* **Unacknowledged (in-flight) write** - a write the power cut interrupted
+  may surface as the old value or the new value, but never anything else
+  (no torn third value, no silent disappearance of the *old* copy unless
+  the new one took its place).
+* **Acknowledged discard** - ``trim`` relaxes the contract: reads may
+  return the pre-discard value or nothing at all.  A later acknowledged
+  write re-tightens it.
+* **Never-written page** - must read back empty; data appearing out of
+  nowhere is a phantom (it means recovery resurrected a stale or foreign
+  mapping).
+
+The same model doubles as a replay-time read-your-writes check: while the
+device is still powered, a read must return the last acknowledged value
+(modulo the discard relaxation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class DurabilityViolation:
+    """One broken durability rule, picklable for cross-process reporting.
+
+    Attributes:
+        kind: ``"lost_write"`` (acknowledged data gone), ``"torn_value"``
+            (read returned a value never acknowledged and not the one
+            in flight), ``"phantom"`` (data on a page the host never
+            wrote), ``"replay"`` (read-your-writes broke before the
+            crash), or ``"audit"`` (the flashsan full-state audit of the
+            recovered instance failed).
+        lpn: Logical page involved, when one is identifiable.
+        message: Human-readable description with expected/actual values.
+    """
+
+    kind: str
+    lpn: Optional[int]
+    message: str
+
+    def __str__(self) -> str:
+        where = f" lpn={self.lpn}" if self.lpn is not None else ""
+        return f"[{self.kind}]{where} {self.message}"
+
+
+class ShadowModel:
+    """Tracks acknowledged host state alongside a replay.
+
+    Drive it with :meth:`begin` / :meth:`commit` around each mutating host
+    op; if power is cut between the two, the op stays recorded as the
+    single in-flight op whose effect is allowed-but-not-required after
+    recovery.
+    """
+
+    def __init__(self, logical_pages: int):
+        self.logical_pages = logical_pages
+        #: lpn -> last acknowledged value (pages absent were never
+        #: written or were discarded and have no obligation to hold data).
+        self.acked: Dict[int, Any] = {}
+        #: lpns whose last acknowledged mutating op was a discard: reads
+        #: may return the retained pre-discard value or nothing.
+        self.relaxed: Dict[int, Any] = {}
+        #: The op the crash interrupted: ``(kind, lpn, value)`` or None.
+        self.inflight: Optional[Tuple[str, int, Any]] = None
+        self.acked_ops = 0
+
+    # ------------------------------------------------------------------
+    # Replay bookkeeping
+    # ------------------------------------------------------------------
+    def begin(self, kind: str, lpn: int, value: Any) -> None:
+        """Record a mutating op as in flight before issuing it."""
+        self.inflight = (kind, lpn, value)
+
+    def commit(self) -> None:
+        """The op returned: fold its effect into acknowledged state."""
+        assert self.inflight is not None, "commit without begin"
+        kind, lpn, value = self.inflight
+        if kind == "w":
+            self.acked[lpn] = value
+            self.relaxed.pop(lpn, None)
+        elif lpn in self.acked:
+            # Discard: keep the old value around as the relaxed option.
+            self.relaxed[lpn] = self.acked.pop(lpn)
+        elif lpn not in self.relaxed:
+            self.relaxed[lpn] = None
+        # else: a repeated discard - the scheme may still retain the data
+        # from before the *first* discard, so the entry is kept as is.
+        self.inflight = None
+        self.acked_ops += 1
+
+    def check_read(self, lpn: int, got: Any) -> Optional[str]:
+        """Read-your-writes check while the device is still powered.
+
+        Returns an error message when the read is inconsistent with the
+        acknowledged history, else None.
+        """
+        if lpn in self.acked:
+            expected = self.acked[lpn]
+            if got != expected:
+                return (f"powered read returned {got!r}, last acknowledged "
+                        f"write was {expected!r}")
+            return None
+        if lpn in self.relaxed:
+            old = self.relaxed[lpn]
+            if got is not None and got != old:
+                return (f"powered read after discard returned {got!r}; "
+                        f"only {old!r} or nothing is allowed")
+            return None
+        if got is not None:
+            return f"powered read of never-written page returned {got!r}"
+        return None
+
+    # ------------------------------------------------------------------
+    # Post-recovery oracle
+    # ------------------------------------------------------------------
+    def allowed_after_crash(self, lpn: int) -> Set[Any]:
+        """The set of values a post-recovery read of ``lpn`` may return.
+
+        ``None`` in the set stands for "no data" (an unmapped read).
+        """
+        allowed: Set[Any] = set()
+        if lpn in self.acked:
+            allowed.add(self.acked[lpn])
+        elif lpn in self.relaxed:
+            allowed.add(self.relaxed[lpn])
+            allowed.add(None)
+        else:
+            allowed.add(None)
+        if self.inflight is not None:
+            kind, in_lpn, value = self.inflight
+            if in_lpn == lpn:
+                if kind == "w":
+                    allowed.add(value)
+                else:  # interrupted discard may or may not have landed
+                    allowed.add(None)
+        return allowed
+
+    def oracle(
+        self, read: Callable[[int], Any]
+    ) -> List[DurabilityViolation]:
+        """Read back every logical page and check it against the rules.
+
+        Args:
+            read: ``lpn -> recovered data`` (None for unmapped reads).
+        """
+        violations: List[DurabilityViolation] = []
+        for lpn in range(self.logical_pages):
+            got = read(lpn)
+            allowed = self.allowed_after_crash(lpn)
+            if got in allowed:
+                continue
+            if lpn in self.acked and got is None:
+                kind = "lost_write"
+                detail = (f"acknowledged write {self.acked[lpn]!r} "
+                          "read back empty after recovery")
+            elif lpn not in self.acked and lpn not in self.relaxed:
+                kind = "phantom"
+                detail = (f"never-written page read back {got!r} "
+                          "after recovery")
+            else:
+                kind = "torn_value"
+                detail = (f"recovered read returned {got!r}; allowed "
+                          f"values were {sorted(map(repr, allowed))}")
+            violations.append(DurabilityViolation(kind, lpn, detail))
+        return violations
+
+
+@dataclass(frozen=True)
+class CrashPointResult:
+    """Verdict for one crash point, picklable for parallel exploration.
+
+    Attributes:
+        crash_index: 0-based program/erase boundary the power cut hit
+            (the fault trips just *before* the ``crash_index``-th flash
+            mutation after arming).
+        tripped: Whether the workload reached that boundary at all; a
+            False with an in-range index means the case cut power cleanly
+            after the final op instead.
+        trip: The fault's trip-site report (empty when not tripped).
+        acked_ops: Mutating host ops acknowledged before the cut.
+        violations: Durability/audit violations found after recovery.
+        mutated: Description of the deliberate post-recovery corruption
+            applied in ``--mutate`` self-test mode (None otherwise).
+    """
+
+    crash_index: int
+    tripped: bool
+    trip: str
+    acked_ops: int
+    violations: Tuple[DurabilityViolation, ...]
+    mutated: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class CrashReport:
+    """Aggregate verdict of one exhaustive crash exploration."""
+
+    scheme: str
+    seed: int
+    num_ops: int
+    boundaries: int
+    results: List[CrashPointResult] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[CrashPointResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def signature(self) -> str:
+        """Deterministic digest of every verdict, for serial==parallel
+        equivalence checks: identical exploration runs must produce
+        identical signatures regardless of ``--jobs``."""
+        parts = []
+        for r in self.results:
+            kinds = ",".join(
+                f"{v.kind}@{v.lpn}" for v in r.violations
+            )
+            parts.append(
+                f"{r.crash_index}:{int(r.tripped)}:{r.acked_ops}:{kinds}"
+            )
+        return f"{self.scheme}/{self.seed}/{self.num_ops}/" \
+               f"{self.boundaries};" + ";".join(parts)

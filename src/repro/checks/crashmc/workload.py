@@ -1,0 +1,80 @@
+"""Deterministic mixed workloads for the crash model checker.
+
+A crash workload is a flat sequence of ``(kind, lpn)`` host operations -
+``"w"`` (write), ``"r"`` (read), ``"d"`` (discard/trim) - generated from a
+seed so every worker process, every reproducer run and every shrinker
+candidate replays byte-identical operation streams.  Write *values* are not
+stored in the op list: the checker derives them as ``(lpn, op_index)``,
+which makes every acknowledged value unique and self-describing (a read-back
+mismatch immediately names the op that wrote the survivor).
+
+The textual encoding (``w5.r3.d7``) keeps shrunken failing sequences small
+enough to embed verbatim in a reproducer string.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+#: One host operation: ``(kind, lpn)`` with kind in {"w", "r", "d"}.
+Op = Tuple[str, int]
+
+_KINDS = ("w", "r", "d")
+
+
+def mixed_ops(
+    num_ops: int,
+    logical_pages: int,
+    seed: int,
+    read_fraction: float = 0.2,
+    discard_fraction: float = 0.1,
+) -> Tuple[Op, ...]:
+    """Generate a deterministic mixed read/write/discard workload.
+
+    Writes dominate (they are what crash consistency is about); reads
+    exercise the replay-time read-your-writes check; discards exercise the
+    relaxed durability rule (post-discard reads may return old data or
+    nothing).  Hot/cold skew: half the traffic hits the first quarter of
+    the logical space so GC, conversion and checkpointing all engage at
+    small op counts.
+    """
+    if num_ops < 0:
+        raise ValueError("num_ops must be non-negative")
+    if not 0 <= read_fraction + discard_fraction < 1:
+        raise ValueError("read+discard fractions must leave room for writes")
+    rng = random.Random(seed)
+    hot_span = max(1, logical_pages // 4)
+    ops: List[Op] = []
+    for _ in range(num_ops):
+        roll = rng.random()
+        if roll < read_fraction:
+            kind = "r"
+        elif roll < read_fraction + discard_fraction:
+            kind = "d"
+        else:
+            kind = "w"
+        if rng.random() < 0.5:
+            lpn = rng.randrange(hot_span)
+        else:
+            lpn = rng.randrange(logical_pages)
+        ops.append((kind, lpn))
+    return tuple(ops)
+
+
+def encode_ops(ops: Sequence[Op]) -> str:
+    """Render an op sequence as the compact ``w5.r3.d7`` form."""
+    return ".".join(f"{kind}{lpn}" for kind, lpn in ops)
+
+
+def decode_ops(text: str) -> Tuple[Op, ...]:
+    """Parse the :func:`encode_ops` form back into an op sequence."""
+    if not text:
+        return ()
+    ops: List[Op] = []
+    for token in text.split("."):
+        kind, body = token[:1], token[1:]
+        if kind not in _KINDS or not body.isdigit():
+            raise ValueError(f"malformed op token {token!r}")
+        ops.append((kind, int(body)))
+    return tuple(ops)

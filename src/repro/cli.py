@@ -31,6 +31,14 @@ from .analysis import (
     read_trace,
 )
 from .checks import SanitizerViolation
+from .checks.crashmc import (
+    CRASH_SCHEMES,
+    CrashCase,
+    check_case,
+    count_boundaries,
+    explore,
+    shrink,
+)
 from .obs import JsonlSink, Tracer
 from .perf.sweep import SweepWorkerError
 from .sim import HEADLINE_DEVICE, SCHEMES, DeviceSpec, compare_schemes
@@ -233,6 +241,106 @@ def cmd_replay_spc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _crashcheck_one_repro(text: str, do_shrink: bool) -> int:
+    """Replay a single reproducer string and report its verdict."""
+    try:
+        case = CrashCase.from_reproducer(text)
+    except ValueError as exc:
+        print(f"bad reproducer: {exc}", file=sys.stderr)
+        return 2
+    result = check_case(case)
+    status = "tripped" if result.tripped else "clean power-off"
+    print(f"{case.scheme} crash={case.crash_index}: {status}"
+          f"{' - ' + result.trip if result.trip else ''}")
+    if result.mutated:
+        print(f"mutation: {result.mutated}")
+    for violation in result.violations:
+        print(f"  {violation}")
+    if result.ok:
+        print("verdict: no durability violations")
+        return 0
+    print(f"verdict: {len(result.violations)} violation(s)")
+    if do_shrink:
+        minimized = shrink(case)
+        print(f"shrunk {minimized.original_ops} ops -> "
+              f"{len(minimized.case.ops)} "
+              f"({minimized.probes} probes)")
+        print(f"reproducer: {minimized.reproducer}")
+    else:
+        print(f"reproducer: {case.reproducer()}")
+    return 1
+
+
+def cmd_crashcheck(args: argparse.Namespace) -> int:
+    if args.repro is not None:
+        return _crashcheck_one_repro(args.repro, args.shrink)
+    schemes = args.scheme or (["LazyFTL"] if not args.full
+                              else list(CRASH_SCHEMES))
+    if args.full:
+        schemes = list(CRASH_SCHEMES)
+        num_ops = max(args.ops, 2000)
+    else:
+        num_ops = args.ops
+    exit_code = 0
+    for scheme in schemes:
+        if args.mutate:
+            # Oracle self-test: corrupt one recovered mapping entry at
+            # the last boundary and require the checker to notice.
+            probe = CrashCase(scheme=scheme, crash_index=0,
+                              seed=args.seed, num_ops=num_ops,
+                              mutate=True)
+            boundaries = count_boundaries(probe)
+            case = CrashCase(scheme=scheme,
+                             crash_index=max(0, boundaries - 1),
+                             seed=args.seed, num_ops=num_ops,
+                             mutate=True)
+            result = check_case(case)
+            if result.mutated and not result.ok:
+                print(f"{scheme}: mutation detected "
+                      f"({len(result.violations)} violation(s) for: "
+                      f"{result.mutated})")
+            else:
+                print(f"{scheme}: MUTATION MISSED - oracle failed to "
+                      f"flag deliberate corruption "
+                      f"(mutated={result.mutated!r})", file=sys.stderr)
+                exit_code = 1
+            continue
+        try:
+            report = explore(scheme, num_ops=num_ops, seed=args.seed,
+                             jobs=args.jobs)
+        except SweepWorkerError as exc:
+            print(exc, file=sys.stderr)
+            return 3
+        tripped = sum(1 for r in report.results if r.tripped)
+        print(f"{scheme}: {num_ops} ops, {report.boundaries} "
+              f"program/erase boundaries, {len(report.results)} crash "
+              f"points explored ({tripped} tripped), "
+              f"{len(report.failures)} failure(s)")
+        if report.failures:
+            exit_code = 1
+            for failing in report.failures[:args.max_report]:
+                print(f"  crash={failing.crash_index} "
+                      f"({failing.trip or 'clean power-off'}):")
+                for violation in failing.violations[:4]:
+                    print(f"    {violation}")
+                case = CrashCase(scheme=scheme,
+                                 crash_index=failing.crash_index,
+                                 seed=args.seed, num_ops=num_ops)
+                print(f"    reproducer: {case.reproducer()}")
+            if args.shrink:
+                first = report.failures[0]
+                minimized = shrink(
+                    CrashCase(scheme=scheme,
+                              crash_index=first.crash_index,
+                              seed=args.seed, num_ops=num_ops)
+                )
+                print(f"  shrunk {minimized.original_ops} ops -> "
+                      f"{len(minimized.case.ops)} "
+                      f"({minimized.probes} probes)")
+                print(f"  minimized reproducer: {minimized.reproducer}")
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -290,6 +398,36 @@ def build_parser() -> argparse.ArgumentParser:
     _add_device_arguments(replay)
     _add_cache_arguments(replay)
     replay.set_defaults(func=cmd_replay_spc)
+
+    crash = sub.add_parser(
+        "crashcheck",
+        help="exhaustive crash-consistency model check: cut power at "
+             "every program/erase boundary, recover, verify durability",
+    )
+    crash.add_argument("--scheme", action="append",
+                       choices=list(CRASH_SCHEMES), default=None,
+                       help="scheme to check (repeatable; default "
+                            "LazyFTL, or all with --full)")
+    crash.add_argument("--ops", type=int, default=400,
+                       help="workload length in host ops (default 400)")
+    crash.add_argument("--seed", type=int, default=0)
+    crash.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="fan crash points over N worker processes "
+                            "(verdicts are identical to a serial run)")
+    crash.add_argument("--shrink", action="store_true",
+                       help="minimize the first failing case with delta "
+                            "debugging and print its reproducer")
+    crash.add_argument("--mutate", action="store_true",
+                       help="oracle self-test: corrupt one recovered "
+                            "mapping entry and require detection")
+    crash.add_argument("--full", action="store_true",
+                       help="exhaustive acceptance matrix: every "
+                            "recovery-capable scheme, >= 2000 ops")
+    crash.add_argument("--repro", metavar="STRING", default=None,
+                       help="replay one crashmc:v1 reproducer string")
+    crash.add_argument("--max-report", type=int, default=5,
+                       help="failing crash points to detail (default 5)")
+    crash.set_defaults(func=cmd_crashcheck)
     return parser
 
 

@@ -164,7 +164,7 @@ class NandFlash:
             # _remaining is None exactly when on_program() would return
             # False (disarmed, or already tripped - tripping nulls the
             # countdown), so the common unarmed case skips the call.
-            if fault._remaining is not None and on_program():
+            if fault._remaining is not None and on_program(ppn):
                 self._powered = False
                 raise PowerLossError(
                     f"power lost before programming ppn {ppn}"
@@ -201,7 +201,7 @@ class NandFlash:
         def erase_block(pbn: int) -> float:
             if not self._powered:
                 raise DeviceOffError("flash device is powered off")
-            if fault._remaining is not None and on_erase():
+            if fault._remaining is not None and on_erase(pbn):
                 self._powered = False
                 raise PowerLossError(f"power lost before erasing block {pbn}")
             if not 0 <= pbn < num_blocks:
@@ -350,7 +350,7 @@ class NandFlash:
         armed fault trips on this operation.
         """
         self._check_power()
-        if self.fault.on_program():
+        if self.fault.on_program(ppn):
             self._powered = False
             raise PowerLossError(f"power lost before programming ppn {ppn}")
         block, offset = self.geometry.split_ppn(ppn)
@@ -379,7 +379,7 @@ class NandFlash:
         real controllers discover wear-out exactly this way.
         """
         self._check_power()
-        if self.fault.on_erase():
+        if self.fault.on_erase(pbn):
             self._powered = False
             raise PowerLossError(f"power lost before erasing block {pbn}")
         self.geometry.check_block(pbn)

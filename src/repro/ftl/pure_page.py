@@ -97,6 +97,67 @@ class PageFTL(FlashTranslationLayer):
         return self.logical_pages * MAP_ENTRY_BYTES
 
     # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        flash: NandFlash,
+        logical_pages: int,
+        gc_free_threshold: int = 2,
+    ) -> "PageFTL":
+        """Rebuild an ideal-FTL instance from flash after a power loss.
+
+        The ideal scheme keeps no flash-resident mapping metadata, so
+        recovery is a full OOB scan: for every logical page the
+        highest-sequence copy on flash is the live one (each program
+        carries a fresh sequence number and eagerly invalidates its
+        predecessor, so the newest copy is the acknowledged copy by
+        construction).  Blocks holding any programmed page become data
+        blocks; fully erased blocks return to the allocation pool.
+
+        This is the reference recovery design the crash model checker
+        (:mod:`repro.checks.crashmc`) compares LazyFTL's bounded-scan
+        recovery against.
+        """
+        flash.power_on()
+        ftl = cls(flash, logical_pages, gc_free_threshold)
+        geometry = flash.geometry
+        best: dict = {}  # lpn -> (seq, ppn)
+        occupied: Set[int] = set()
+        max_seq = -1
+        pages_read = 0
+        for pbn in range(geometry.num_blocks):
+            if flash.block(pbn).is_bad:
+                continue
+            for offset in range(geometry.pages_per_block):
+                ppn = geometry.ppn_of(pbn, offset)
+                oob, _ = flash.probe_page(ppn)
+                pages_read += 1
+                if oob is None:
+                    break  # sequential programming: the rest is erased
+                occupied.add(pbn)
+                if oob.seq > max_seq:
+                    max_seq = oob.seq
+                prev = best.get(oob.lpn)
+                if prev is None or oob.seq > prev[0]:
+                    best[oob.lpn] = (oob.seq, ppn)
+        map_raw = ftl._map.raw
+        for lpn, (_, ppn) in best.items():
+            if lpn < logical_pages:
+                map_raw[lpn] = ppn
+        ftl._data_blocks = set(occupied)
+        ftl._pool = BlockPool(
+            b for b in range(geometry.num_blocks)
+            if b not in occupied and not flash.block(b).is_bad
+        )
+        ftl._active = None
+        ftl._gc_active = None
+        ftl._seq.fast_forward(max_seq)
+        ftl.stats.recovery_reads += pages_read
+        return ftl
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _frontier(self, pbn: int) -> int:

@@ -19,7 +19,10 @@ import multiprocessing
 import traceback
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
 
 from ..sim.runner import DeviceSpec, run_scheme
 from ..sim.simulator import SimulationResult
@@ -97,6 +100,40 @@ def _run_cell(cell: SweepCell) -> SimulationResult:
         raise SweepWorkerError(cell.name, traceback.format_exc()) from None
 
 
+def run_tasks(
+    fn: Callable[[_T], _R],
+    tasks: Iterable[_T],
+    jobs: int = 1,
+    chunksize: Optional[int] = None,
+) -> List[_R]:
+    """Apply ``fn`` to every task, optionally across worker processes.
+
+    The generic fan-out primitive behind :func:`run_sweep` and the crash
+    model checker (:mod:`repro.checks.crashmc`): tasks and results must be
+    picklable, ``fn`` must be a module-level callable, and result order
+    always matches task order, so a parallel run is observationally
+    identical to a serial one.
+
+    Args:
+        fn: Module-level worker function (anything pickle can import).
+        tasks: The task inputs; order is preserved in the result.
+        jobs: ``<= 1`` runs in-process (no pool, no pickling, breakpoints
+            and coverage work); ``N > 1`` fans tasks over ``N`` workers.
+        chunksize: Tasks handed to a worker per dispatch.  Defaults to an
+            even split (``len/jobs``, capped at 32) so many cheap tasks -
+            the crash checker's thousands of crash points - do not pay a
+            round-trip per task.
+    """
+    task_list: Sequence[_T] = list(tasks)
+    if jobs <= 1 or len(task_list) <= 1:
+        return [fn(task) for task in task_list]
+    workers = min(jobs, len(task_list))
+    if chunksize is None:
+        chunksize = max(1, min(32, len(task_list) // workers))
+    with multiprocessing.Pool(processes=workers) as pool:
+        return pool.map(fn, task_list, chunksize=chunksize)
+
+
 def run_sweep(
     cells: Iterable[SweepCell], jobs: int = 1
 ) -> List[SimulationResult]:
@@ -112,8 +149,8 @@ def run_sweep(
             traceback attached (in-process runs raise it too, so callers
             handle one error shape for both modes).
     """
-    cell_list = list(cells)
-    if jobs <= 1 or len(cell_list) <= 1:
-        return [_run_cell(cell) for cell in cell_list]
-    with multiprocessing.Pool(processes=min(jobs, len(cell_list))) as pool:
-        return pool.map(_run_cell, cell_list)
+    # Sweep cells are heavyweight (each replays a whole trace), so they
+    # are dispatched one at a time rather than with run_tasks' default
+    # batching; everything else - ordering, the serial==parallel
+    # guarantee, error propagation - is shared.
+    return run_tasks(_run_cell, cells, jobs=jobs, chunksize=1)

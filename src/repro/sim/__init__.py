@@ -16,7 +16,16 @@ from .export import (
     results_to_csv,
     results_to_json,
 )
-from .factory import SCHEMES, build_ftl, default_lazy_config, standard_setup
+from .factory import (
+    RECOVERABLE_SCHEMES,
+    SCHEMES,
+    RecoveryUnsupportedError,
+    build_ftl,
+    default_lazy_config,
+    recover_ftl,
+    standard_setup,
+    supports_recovery,
+)
 from .metrics import LatencyDistribution, ResponseStats
 from .report import format_series, format_table, relative_to
 from .runner import (
@@ -37,10 +46,14 @@ __all__ = [
     "result_to_row",
     "results_to_csv",
     "results_to_json",
+    "RECOVERABLE_SCHEMES",
     "SCHEMES",
+    "RecoveryUnsupportedError",
     "build_ftl",
     "default_lazy_config",
+    "recover_ftl",
     "standard_setup",
+    "supports_recovery",
     "LatencyDistribution",
     "ResponseStats",
     "format_series",

@@ -27,6 +27,18 @@ from ..ftl import (
 SCHEMES = ("NFTL", "BAST", "FAST", "LAST", "superblock", "DFTL",
            "LazyFTL", "ideal")
 
+#: Schemes that can rebuild themselves from flash-resident state after a
+#: power loss: LazyFTL via checkpoints + bounded OOB scans (the paper's
+#: basic recovery design) and the ideal page-mapping baseline via a full
+#: OOB scan.  Everything else keeps mapping state that does not survive a
+#: crash - :func:`recover_ftl` fails loudly for those instead of
+#: returning a silently corrupted instance.
+RECOVERABLE_SCHEMES = ("LazyFTL", "ideal")
+
+
+class RecoveryUnsupportedError(RuntimeError):
+    """The scheme has no crash-recovery design; its RAM state is gone."""
+
 
 def build_ftl(
     scheme: str,
@@ -104,6 +116,46 @@ def standard_setup(
     if sanitize:
         ftl = SanitizedFTL(ftl)
     return flash, ftl, logical_pages
+
+
+def supports_recovery(ftl: FlashTranslationLayer) -> bool:
+    """True when :func:`recover_ftl` can rebuild this scheme after a crash."""
+    from ..ftl.pure_page import PageFTL
+
+    inner = getattr(ftl, "_ftl", ftl)  # unwrap a SanitizedFTL
+    return isinstance(inner, (LazyFTL, PageFTL))
+
+
+def recover_ftl(ftl: FlashTranslationLayer) -> FlashTranslationLayer:
+    """Rebuild a crashed FTL's scheme from its (powered-off) device.
+
+    The instance-based half of the recovery protocol: given the dead
+    instance (its RAM state is considered lost - only ``flash``, the
+    exported size and the construction-time configuration are consulted),
+    power the device back on and run the scheme's recovery procedure.
+
+    Returns a *new* FTL instance of the same scheme on the same device.
+    Raises :class:`RecoveryUnsupportedError` for schemes with no recovery
+    design (BAST/FAST/NFTL/LAST/superblock/DFTL as implemented here keep
+    log-block or cached-mapping state that is unrecoverable without
+    scheme-side persistence) - a loud error instead of silent corruption.
+    """
+    from ..ftl.pure_page import PageFTL
+
+    inner = getattr(ftl, "_ftl", ftl)  # unwrap a SanitizedFTL
+    if isinstance(inner, LazyFTL):
+        from ..core.recovery import recover
+
+        rebuilt, _ = recover(inner.flash, inner.logical_pages, inner.config)
+        return rebuilt
+    if isinstance(inner, PageFTL):
+        return PageFTL.recover(inner.flash, inner.logical_pages,
+                               inner.gc_free_threshold)
+    raise RecoveryUnsupportedError(
+        f"scheme {inner.name!r} has no crash-recovery design: its "
+        "translation state lives only in RAM and cannot be rebuilt "
+        f"from flash (recovery-capable schemes: {RECOVERABLE_SCHEMES})"
+    )
 
 
 def default_lazy_config(**overrides: Any) -> LazyConfig:

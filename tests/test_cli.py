@@ -133,3 +133,44 @@ class TestTracingCommands:
         ])
         assert rc == 2
         assert "cannot open --trace-out" in capsys.readouterr().err
+
+
+@pytest.mark.crash
+class TestCrashcheckCLI:
+    def test_clean_exploration(self, capsys):
+        assert main(["crashcheck", "--ops", "60", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "boundaries" in out
+        assert "0 failure(s)" in out
+
+    def test_multiple_schemes_and_jobs(self, capsys):
+        rc = main(["crashcheck", "--scheme", "LazyFTL", "--scheme",
+                   "ideal", "--ops", "50", "--jobs", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "LazyFTL:" in out and "ideal:" in out
+
+    def test_mutate_self_test(self, capsys):
+        rc = main(["crashcheck", "--scheme", "LazyFTL", "--ops", "100",
+                   "--mutate"])
+        assert rc == 0
+        assert "mutation detected" in capsys.readouterr().out
+
+    def test_repro_replay_reports_violations(self, capsys):
+        rc = main([
+            "crashcheck", "--repro",
+            "crashmc:v1:scheme=LazyFTL:oplist=w21.w13:crash=2"
+            ":ckpt=48:mutate=1",
+        ])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "violation" in out
+        assert "reproducer:" in out
+
+    def test_bad_reproducer_rejected(self, capsys):
+        assert main(["crashcheck", "--repro", "garbage"]) == 2
+        assert "bad reproducer" in capsys.readouterr().err
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["crashcheck", "--scheme", "BAST"])

@@ -1,0 +1,108 @@
+"""Property-based crash tests: random workloads x random crash points.
+
+Hypothesis drives the crash model checker with arbitrary mixed
+read/write/discard sequences and arbitrary cut points; durability must
+hold for every combination.  The shrinker is exercised on deliberately
+corrupted (``mutate``) cases - the only reliable source of failures in a
+correct implementation - and its reproducer strings must be stable run to
+run.
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checks.crashmc import (
+    CrashCase,
+    check_case,
+    count_boundaries,
+    shrink,
+)
+
+pytestmark = pytest.mark.crash
+
+LOGICAL = 96
+
+ops_lists = st.lists(
+    st.tuples(
+        st.sampled_from(["w", "r", "d"]),
+        st.integers(min_value=0, max_value=LOGICAL - 1),
+    ),
+    min_size=1,
+    max_size=60,
+).map(tuple)
+
+
+class TestRandomCrashPoints:
+    @settings(deadline=None, max_examples=25)
+    @given(
+        ops=ops_lists,
+        crash=st.integers(min_value=0, max_value=80),
+        scheme=st.sampled_from(["LazyFTL", "ideal"]),
+    )
+    def test_durability_holds_at_arbitrary_cut_points(
+        self, ops, crash, scheme
+    ):
+        result = check_case(
+            CrashCase(scheme=scheme, crash_index=crash, ops=ops)
+        )
+        assert result.ok, [str(v) for v in result.violations]
+
+    @settings(deadline=None, max_examples=10)
+    @given(
+        seed=st.integers(min_value=0, max_value=10 ** 6),
+        crash=st.integers(min_value=0, max_value=120),
+    )
+    def test_seeded_mixed_workloads_survive(self, seed, crash):
+        result = check_case(
+            CrashCase(scheme="LazyFTL", crash_index=crash, seed=seed,
+                      num_ops=80)
+        )
+        assert result.ok, [str(v) for v in result.violations]
+
+
+def _mutate_failing_case(scheme, seed, num_ops=60):
+    """A case guaranteed (well, near-guaranteed) to fail: crash at the
+    last boundary with one recovered mapping entry corrupted."""
+    probe = CrashCase(scheme=scheme, crash_index=0, seed=seed,
+                      num_ops=num_ops, mutate=True)
+    boundaries = count_boundaries(probe)
+    return replace(probe, crash_index=max(0, boundaries - 1))
+
+
+class TestShrinker:
+    def test_minimizes_to_a_still_failing_core(self):
+        case = _mutate_failing_case("LazyFTL", seed=3)
+        assert not check_case(case).ok
+        result = shrink(case)
+        assert len(result.case.ops) < result.original_ops
+        # Corrupting one entry to alias another needs two distinct
+        # written pages - the true minimal core.
+        assert len(result.case.ops) >= 2
+        assert not check_case(result.case).ok
+
+    def test_reproducer_string_is_stable_across_shrinks(self):
+        case = _mutate_failing_case("LazyFTL", seed=3)
+        first = shrink(case)
+        second = shrink(case)
+        assert first.reproducer == second.reproducer
+        # And it parses back to the exact minimized case.
+        assert CrashCase.from_reproducer(first.reproducer) == first.case
+
+    def test_refuses_a_passing_case(self):
+        case = CrashCase(scheme="LazyFTL", crash_index=5, seed=3,
+                         num_ops=40)
+        with pytest.raises(ValueError, match="nothing to shrink"):
+            shrink(case)
+
+    @settings(deadline=None, max_examples=5)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_shrinks_random_mutate_failures(self, seed):
+        case = _mutate_failing_case("ideal", seed=seed, num_ops=50)
+        if check_case(case).ok:
+            return  # workload too tiny to leave two mapped pages
+        result = shrink(case)
+        assert not check_case(result.case).ok
+        assert len(result.case.ops) <= 50

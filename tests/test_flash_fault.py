@@ -101,3 +101,60 @@ class TestChipPowerLoss:
         with pytest.raises(PowerLossError):
             chip.erase_block(0)
         assert chip.block(0).erase_count == 0
+
+
+class TestArmAtOpIndex:
+    def test_trips_just_before_the_indexed_op(self):
+        f = PowerFault()
+        f.arm_at_op_index(2)
+        assert not f.on_program()   # op 0
+        assert not f.on_erase()     # op 1 (erases count too)
+        assert f.on_program()       # would be op 2: cut here
+        assert f.tripped
+        assert f.trip_op_index == 2
+
+    def test_index_zero_cuts_before_anything(self):
+        f = PowerFault()
+        f.arm_at_op_index(0)
+        assert f.on_program()
+
+    def test_negative_index_rejected(self):
+        f = PowerFault()
+        with pytest.raises(ValueError):
+            f.arm_at_op_index(-1)
+
+    def test_trip_site_reported(self):
+        chip = make_chip()
+        chip.fault.arm_at_op_index(1)
+        chip.program_page(0, "a")
+        with pytest.raises(PowerLossError):
+            chip.program_page(1, "b")
+        report = chip.fault.trip_report()
+        assert "op index 1" in report
+        assert "program of ppn 1" in report
+
+    def test_erase_trip_site_reported(self):
+        chip = make_chip()
+        chip.program_page(0, "a")
+        chip.fault.arm_at_op_index(0)
+        with pytest.raises(PowerLossError):
+            chip.erase_block(0)
+        assert "erase of pbn 0" in chip.fault.trip_report()
+
+    def test_trip_history_survives_power_on(self):
+        """Recovery code powers the chip back on (which disarms the
+        fault) and must still be able to read the trip report."""
+        chip = make_chip()
+        chip.fault.arm_at_op_index(0)
+        with pytest.raises(PowerLossError):
+            chip.program_page(0, "x")
+        chip.power_on()
+        assert chip.fault.tripped
+        assert "op index 0" in chip.fault.trip_report()
+        chip.program_page(0, "x")  # disarmed: no second trip
+
+    def test_untripped_report_is_empty(self):
+        f = PowerFault()
+        assert f.trip_report() == ""
+        f.arm_at_op_index(5)
+        assert f.trip_report() == ""

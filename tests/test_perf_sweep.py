@@ -155,3 +155,47 @@ class TestCompareSchemesJobs:
                 cells_trace(), schemes=("ideal",), device=DEVICE,
                 tracer=Tracer(), jobs=2,
             )
+
+
+def _square(task):
+    return task * task
+
+
+def _explode(task):
+    raise SweepWorkerError(f"task-{task}", "synthetic traceback")
+
+
+class TestRunTasks:
+    """The generic fan-out primitive shared by sweeps and the crash
+    model checker: order preserved, serial == parallel, loud errors."""
+
+    def test_order_preserved_and_modes_agree(self):
+        from repro.perf.sweep import run_tasks
+
+        tasks = list(range(23))
+        serial = run_tasks(_square, tasks, jobs=1)
+        parallel = run_tasks(_square, tasks, jobs=3)
+        assert serial == [t * t for t in tasks]
+        assert serial == parallel
+
+    def test_empty_and_single_task(self):
+        from repro.perf.sweep import run_tasks
+
+        assert run_tasks(_square, [], jobs=4) == []
+        # One task never pays for a pool, whatever jobs says.
+        assert run_tasks(_square, [7], jobs=4) == [49]
+
+    def test_worker_errors_propagate_from_pool(self):
+        from repro.perf.sweep import run_tasks
+
+        with pytest.raises(SweepWorkerError, match="task-"):
+            run_tasks(_explode, [0, 1, 2, 3], jobs=2)
+
+    def test_chunksize_does_not_change_results(self):
+        from repro.perf.sweep import run_tasks
+
+        tasks = list(range(40))
+        for chunksize in (1, 7, 64):
+            assert run_tasks(_square, tasks, jobs=2,
+                             chunksize=chunksize) == \
+                [t * t for t in tasks]

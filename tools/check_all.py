@@ -14,7 +14,11 @@ Runs, in order:
 5. **perfbench** - ``benchmarks/perfbench.py --smoke --check``: replays
    the smoke throughput suite and fails when any cell regresses more
    than ``[tool.perfbench] max_regression_pct`` against the committed
-   ``BENCH_pr3.json`` 'after' baseline.
+   ``BENCH_pr3.json`` 'after' baseline;
+6. **crashmc** - ``python -m repro crashcheck``: crash-consistency
+   smoke (every program/erase boundary of a short mixed workload for
+   each recovery-capable scheme, plus the ``--mutate`` oracle
+   self-test).
 
 Configuration lives in ``pyproject.toml`` under ``[tool.check_all]``
 (lint paths, the trace smoke command).  Exit status 0 when every step
@@ -42,7 +46,7 @@ try:
 except ModuleNotFoundError:  # Python < 3.11
     tomllib = None
 
-STEPS = ("ftlint", "pytest", "mypy", "trace", "perfbench")
+STEPS = ("ftlint", "pytest", "mypy", "trace", "perfbench", "crashmc")
 
 
 def load_config() -> dict:
@@ -50,6 +54,7 @@ def load_config() -> dict:
         "lint_paths": ["src/repro", "tools", "tests", "benchmarks",
                        "examples"],
         "trace_requests": 300,
+        "crashmc_ops": 120,
     }
     pyproject = _REPO_ROOT / "pyproject.toml"
     if tomllib is None or not pyproject.is_file():
@@ -125,6 +130,26 @@ def step_perfbench(config: dict) -> bool:
     ])
 
 
+def step_crashmc(config: dict) -> bool:
+    """Crash-consistency smoke: explore every boundary of a short mixed
+    workload for each recovery-capable scheme, then run the --mutate
+    oracle self-test (the checker must flag deliberate corruption).  The
+    exhaustive acceptance matrix is ``repro crashcheck --full``."""
+    ops = str(config["crashmc_ops"])
+    explored = run_step("crashmc:explore", [
+        sys.executable, "-m", "repro", "crashcheck",
+        "--scheme", "LazyFTL", "--scheme", "ideal",
+        "--ops", ops,
+    ])
+    if not explored:
+        return False
+    return run_step("crashmc:mutate", [
+        sys.executable, "-m", "repro", "crashcheck",
+        "--scheme", "LazyFTL", "--scheme", "ideal",
+        "--ops", ops, "--mutate",
+    ])
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="check_all", description=__doc__.splitlines()[0]
@@ -142,6 +167,7 @@ def main(argv=None) -> int:
         "mypy": step_mypy,
         "trace": step_trace,
         "perfbench": step_perfbench,
+        "crashmc": step_crashmc,
     }
     failed = []
     for name in STEPS:
