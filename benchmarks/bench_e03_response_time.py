@@ -46,6 +46,18 @@ def test_e03_response_time(benchmark):
         text += f"  {t:12s} " + "  ".join(
             f"{s}={gaps[t][s]:.2f}x" for s in SCHEMES
         ) + "\n"
+    tails = {
+        scheme: [
+            grid[t][scheme].responses.overall.summary()["p99_us"]
+            for t in trace_names
+        ]
+        for scheme in SCHEMES
+    }
+    text += "\n" + format_series(
+        "scheme \\ trace", trace_names, tails,
+        title="E3 (tail view): p99 response time (us); "
+              "decomposition in E15",
+    )
     emit("e03_response_time", text)
 
     # Paper shape: LazyFTL beats every existing scheme on the random and

@@ -26,14 +26,10 @@ def test_e06_latency_tail(benchmark):
     results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     rows = []
     for scheme in SCHEMES:
-        d = results[scheme].responses.overall
+        s = results[scheme].responses.overall.summary()
         rows.append([
-            scheme,
-            d.percentile(50),
-            d.percentile(95),
-            d.percentile(99),
-            d.percentile(99.9),
-            d.max,
+            scheme, s["p50_us"], s["p95_us"], s["p99_us"], s["p999_us"],
+            s["max_us"],
         ])
     text = format_table(
         ["scheme", "p50_us", "p95_us", "p99_us", "p99.9_us", "max_us"],
@@ -45,6 +41,8 @@ def test_e06_latency_tail(benchmark):
         d = results[scheme].responses.overall
         slow = sum(1 for v, _ in d.cdf_points(1000) if v > 10_000) / 1000
         text += f"  {scheme:8s} {slow:6.1%}\n"
+    text += ("\nper-cause decomposition of these tails: E15 "
+             "(bench_e15_latency_decomposition, `repro report`)\n")
     emit("e06_latency_tail", text)
 
     fast_max = results["FAST"].responses.overall.max

@@ -236,6 +236,71 @@ def run_trace_pipeline(smoke: bool, repeats: int) -> dict:
     return results
 
 
+#: Minimum fraction of service latency the decomposition must attribute
+#: to a named cause bucket (the rest is the explicit ``unattributed``).
+MIN_ATTRIBUTED_FRACTION = 0.99
+
+
+def run_latency_probe(smoke: bool) -> dict:
+    """Traced LazyFTL macro run -> compact latency-decomposition summary.
+
+    Deliberately *not* one of the timed cells: the throughput cells run
+    detached (no tracer) so the regression gate keeps certifying the
+    zero-overhead-when-detached contract, while this probe certifies the
+    observability contract - per-op cause decomposition sums to the op
+    latency and >= :data:`MIN_ATTRIBUTED_FRACTION` of service time is
+    attributed to a named cause.  The summary is embedded in the BENCH
+    file under ``latency`` so the perf trajectory carries tail data.
+    """
+    from repro.obs import OpLatencyRecorder, Tracer
+
+    key, scheme, trace, warmup, device = build_cells(smoke)[1]
+    assert key == "macro:LazyFTL"
+    recorder = OpLatencyRecorder()
+    run_scheme(scheme, trace, device=device, warmup=warmup,
+               tracer=Tracer(latency=recorder))
+    summary = recorder.scheme_summary(scheme)
+    classes = {}
+    for op_class, entry in summary["classes"].items():
+        classes[op_class] = {
+            "count": entry["count"],
+            "p50_us": round(entry["p50_us"], 3),
+            "p99_us": round(entry["p99_us"], 3),
+            "p999_us": round(entry["p999_us"], 3),
+            "attributed_fraction": round(
+                entry["attributed_fraction"], 6
+            ),
+        }
+    probe = {
+        "scheme": scheme,
+        "classes": classes,
+        "invariant": summary["invariant"],
+    }
+    overall = classes["overall"]
+    print(f"latency probe ({scheme}): p99 {overall['p99_us']:.0f} us, "
+          f"p999 {overall['p999_us']:.0f} us, "
+          f"{overall['attributed_fraction'] * 100:.2f}% attributed, "
+          f"{probe['invariant']['violations']} invariant violation(s)")
+    return probe
+
+
+def check_latency_probe(probe: dict) -> int:
+    """Fail (exit 1) on decomposition drift or weak attribution."""
+    failed = False
+    if probe["invariant"]["violations"]:
+        print(f"latency probe: {probe['invariant']['violations']} "
+              "decomposition invariant violation(s) - ops observed more "
+              "flash time than they were charged")
+        failed = True
+    for op_class, entry in sorted(probe["classes"].items()):
+        if entry["attributed_fraction"] < MIN_ATTRIBUTED_FRACTION:
+            print(f"latency probe: {op_class} attribution "
+                  f"{entry['attributed_fraction'] * 100:.2f}% < "
+                  f"{MIN_ATTRIBUTED_FRACTION * 100:.0f}% floor")
+            failed = True
+    return 1 if failed else 0
+
+
 def _macro_aggregate(cells: dict) -> float:
     """Total macro throughput: sum(ops) / sum(best-run seconds)."""
     ops = sec = 0.0
@@ -253,9 +318,12 @@ def _load_bench() -> dict:
     return {"schema": 1}
 
 
-def record(section: str, suite: str, cells: dict) -> None:
+def record(section: str, suite: str, cells: dict,
+           probe: dict = None) -> None:
     data = _load_bench()
     data.setdefault(section, {})[suite] = cells
+    if probe is not None:
+        data.setdefault("latency", {})[suite] = probe
     before = data.get("before", {}).get(suite)
     after = data.get("after", {}).get(suite)
     if before and after:
@@ -330,11 +398,17 @@ def main(argv=None) -> int:
     print(f"perfbench: {suite} suite, best of {args.repeat}")
     cells = run_suite(args.smoke, args.repeat)
     print(f"macro aggregate: {_macro_aggregate(cells):.0f} ops/s")
+    probe = None
+    if args.record or args.check:
+        # Untimed instrumented run: certifies the latency-decomposition
+        # contract without polluting the detached throughput cells.
+        probe = run_latency_probe(args.smoke)
     status = 0
     if args.record:
-        record(args.record, suite, cells)
+        record(args.record, suite, cells, probe)
     if args.check:
         status = check(suite, cells)
+        status = check_latency_probe(probe) or status
     return status
 
 

@@ -19,7 +19,17 @@ and online attribution can never disagree.
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, TextIO, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    TextIO,
+    Union,
+)
 
 from ..obs.events import Cause, EventType, TraceEvent
 from ..obs.sinks import AttributionSink
@@ -38,17 +48,22 @@ CAUSE_ORDER = [
 ]
 
 
-def read_trace(source: Union[str, TextIO]) -> Iterator[TraceEvent]:
+def read_trace(
+    source: Union[str, TextIO],
+    on_meta: Optional[Callable[[Dict[str, object]], None]] = None,
+) -> Iterator[TraceEvent]:
     """Stream :class:`TraceEvent` objects from a JSONL trace.
 
     Accepts a path or an open text stream; blank lines are skipped, and
     malformed lines raise ``ValueError`` naming the offending line number
     (a trace with undecodable records should fail loudly, not be silently
-    truncated).
+    truncated).  Records carrying a ``meta`` key (e.g. the ring sink's
+    completeness header) are not events: they are passed to ``on_meta``
+    when given, silently skipped otherwise.
     """
     if isinstance(source, str):
         with open(source, "r", encoding="utf-8") as stream:
-            yield from read_trace(stream)
+            yield from read_trace(stream, on_meta=on_meta)
         return
     for lineno, line in enumerate(source, start=1):
         line = line.strip()
@@ -56,6 +71,10 @@ def read_trace(source: Union[str, TextIO]) -> Iterator[TraceEvent]:
             continue
         try:
             record = json.loads(line)
+            if isinstance(record, dict) and "meta" in record:
+                if on_meta is not None:
+                    on_meta(record)
+                continue
             yield TraceEvent.from_record(record)
         except (json.JSONDecodeError, KeyError, ValueError) as exc:
             raise ValueError(f"bad trace record on line {lineno}: {exc}")

@@ -14,7 +14,7 @@ guards and which paper claim it backs.
 """
 
 from .auditors import audit_ftl
-from .flashsan import SanitizedFTL, SanitizedNandFlash
+from .flashsan import SanitizedFTL, SanitizedNandFlash, audit_latency
 from .report import (
     AuditReport,
     OpHistory,
@@ -26,6 +26,7 @@ from .report import (
 
 __all__ = [
     "audit_ftl",
+    "audit_latency",
     "SanitizedFTL",
     "SanitizedNandFlash",
     "AuditReport",

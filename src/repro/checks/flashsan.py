@@ -217,6 +217,33 @@ class SanitizedNandFlash(NandFlash):
                             page.oob.lpn if page.oob is not None else None)
 
 
+def audit_latency(recorder: Any) -> list:
+    """Check the per-op latency-decomposition invariant of a recorder.
+
+    Every host op's charged latency must cover the flash time observed
+    during it (``sum(cause buckets) <= dur_us`` within tolerance; the
+    positive remainder is the explicit ``unattributed`` bucket).  An op
+    that observed *more* flash time than it was charged means a missed
+    fence or a mis-charging scheme - each such scheme yields one
+    :class:`Violation` of kind :data:`ViolationKind.LATENCY_DRIFT`.
+    """
+    violations = []
+    for scheme, verdict in recorder.invariants().items():
+        if verdict["violations"]:
+            violations.append(Violation(
+                kind=ViolationKind.LATENCY_DRIFT,
+                message=(
+                    f"{verdict['violations']} of {verdict['checked_ops']} "
+                    "host ops observed more flash time than they were "
+                    "charged (max residual "
+                    f"{verdict['max_residual_us']:.3g} us) - the per-op "
+                    "cause decomposition does not sum to the op latency"
+                ),
+                scheme=scheme or None,
+            ))
+    return violations
+
+
 class SanitizedFTL:
     """Transparent FTL wrapper adding the host-level sanitizer checks.
 
@@ -286,6 +313,12 @@ class SanitizedFTL:
         if isinstance(flash, SanitizedNandFlash) and flash.violations:
             report.violations.extend(flash.violations)
         report.violations.extend(self.violations)
+        tracer = self._ftl.tracer
+        if tracer is not None and tracer.latency is not None:
+            # A traced run with a latency recorder also certifies the
+            # per-op decomposition invariant as part of the audit.
+            report.violations.extend(audit_latency(tracer.latency))
+            report.checks_run += 1
         if self.on_violation == "raise" and report.violations:
             raise SanitizerViolation(report.violations[0])
         return report

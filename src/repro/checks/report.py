@@ -33,6 +33,8 @@ class ViolationKind(str, Enum):
     DANGLING_MAPPING = "dangling-mapping"
     OOB_MISMATCH = "oob-reverse-mapping-mismatch"
     COUNTER_DRIFT = "block-counter-drift"
+    # --- Observability invariants --------------------------------------
+    LATENCY_DRIFT = "latency-decomposition-drift"
     # --- Scheme-specific invariants -----------------------------------
     LAZY_MERGE = "lazyftl-merge-performed"
     UMT_INCONSISTENT = "umt-inconsistent"

@@ -191,8 +191,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_inspect_trace(args: argparse.Namespace) -> int:
+    metas: List[dict] = []
     try:
-        sink = attribute_trace(read_trace(args.path))
+        sink = attribute_trace(read_trace(args.path, on_meta=metas.append))
     except OSError as exc:
         print(f"cannot read {args.path}: {exc}", file=sys.stderr)
         return 2
@@ -206,6 +207,64 @@ def cmd_inspect_trace(args: argparse.Namespace) -> int:
     print(format_attribution(
         sink, title=f"flash time by cause - {args.path}"
     ))
+    for meta in metas:
+        if meta.get("meta") == "ring" and meta.get("dropped"):
+            print(
+                f"\nWARNING: ring buffer (capacity {meta.get('capacity')}) "
+                f"dropped {meta['dropped']:,} of "
+                f"{meta.get('events_seen', 0):,} events - this trace is "
+                "the most recent window, not the whole run",
+                file=sys.stderr,
+            )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .obs.report import (
+        collect_report,
+        load_snapshot,
+        render_report,
+        save_snapshot,
+    )
+
+    if args.from_snapshot:
+        try:
+            snapshot = load_snapshot(args.from_snapshot)
+        except (OSError, ValueError) as exc:
+            print(f"{exc}", file=sys.stderr)
+            return 2
+        tracer = None
+    else:
+        _configure_cache(args)
+        device = _device_from_args(args)
+        trace = _trace_from_args(args, device)
+        try:
+            snapshot, _, tracer = collect_report(
+                args.scheme,
+                trace,
+                device=device,
+                precondition="steady" if args.steady else True,
+                window_us=args.window_us,
+                ring_capacity=args.ring_capacity,
+                sanitize=args.sanitize,
+            )
+        except SanitizerViolation as exc:
+            print(exc.violation.render(), file=sys.stderr)
+            return 3
+    if args.snapshot:
+        save_snapshot(snapshot, args.snapshot)
+        print(f"snapshot written to {args.snapshot}", file=sys.stderr)
+    if args.events_out and tracer is not None and tracer.ring is not None:
+        written = tracer.ring.dump(args.events_out)
+        print(f"{written} events written to {args.events_out} "
+              f"({tracer.ring.dropped} dropped by the ring)",
+              file=sys.stderr)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(snapshot, indent=1, sort_keys=True))
+    else:
+        print(render_report(snapshot))
     return 0
 
 
@@ -382,6 +441,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     inspect.add_argument("path", help="JSONL trace from compare --trace-out")
     inspect.set_defaults(func=cmd_inspect_trace)
+
+    report = sub.add_parser(
+        "report",
+        help="latency-decomposition run report: per-op-class tail "
+             "quantiles with per-cause breakdowns and time-series",
+    )
+    _add_trace_arguments(report)
+    _add_device_arguments(report)
+    _add_cache_arguments(report)
+    report.add_argument("--scheme", choices=list(SCHEMES),
+                        default="LazyFTL")
+    report.add_argument("--steady", action="store_true",
+                        help="precondition to steady-state GC")
+    report.add_argument("--sanitize", action="store_true",
+                        help="run under flashsan (includes the latency-"
+                             "decomposition invariant in the audit)")
+    report.add_argument("--json", action="store_true",
+                        help="print the snapshot as JSON instead of the "
+                             "terminal dashboard")
+    report.add_argument("--snapshot", metavar="FILE", default=None,
+                        help="also save the snapshot JSON to FILE")
+    report.add_argument("--from-snapshot", metavar="FILE", default=None,
+                        help="render a previously saved snapshot instead "
+                             "of running a simulation")
+    report.add_argument("--events-out", metavar="FILE", default=None,
+                        help="dump the retained event ring to a JSONL "
+                             "trace (with a completeness meta record)")
+    report.add_argument("--ring-capacity", type=int, default=0,
+                        metavar="N",
+                        help="retain the last N events in memory "
+                             "(default 0: no event ring)")
+    report.add_argument("--window-us", type=float, default=None,
+                        help="time-series window in simulated "
+                             "microseconds (default 100000)")
+    report.set_defaults(func=cmd_report)
 
     charac = sub.add_parser("characterize", help="workload statistics")
     _add_trace_arguments(charac)

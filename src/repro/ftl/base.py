@@ -92,10 +92,22 @@ class FlashTranslationLayer(ABC):
     def write(self, lpn: int, data: Any = None) -> HostResult:
         """Serve a host write of one logical page."""
 
-    def trim(self, lpn: int) -> HostResult:  # pragma: no cover - optional op
-        """Discard a logical page (optional; default is a no-op)."""
+    def trim(self, lpn: int) -> HostResult:
+        """Discard a logical page (optional; default is a no-op).
+
+        Subclasses that do real work on discard should call
+        :meth:`_note_trim` with the accumulated latency instead of
+        emitting events themselves, so host-level trim accounting stays
+        uniform across schemes.
+        """
         self._check_lpn(lpn)
-        return HostResult(0.0)
+        return self._note_trim(lpn, 0.0)
+
+    def _note_trim(self, lpn: int, latency_us: float) -> HostResult:
+        """Emit the HostTrim event (when traced) and wrap the result."""
+        if self._tracer is not None:
+            self._tracer.host_trim(lpn, latency_us)
+        return HostResult(latency_us)
 
     def background_work(self, budget_us: float) -> float:
         """Use up to ``budget_us`` of device idle time for housekeeping.

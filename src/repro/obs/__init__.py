@@ -1,6 +1,6 @@
 """Observability: structured event tracing and metrics for the simulator.
 
-The subsystem has three layers:
+The subsystem has five layers:
 
 * **events** - the typed taxonomy (:class:`EventType`, :class:`Cause`,
   :class:`TraceEvent`) and its JSONL record format;
@@ -8,7 +8,12 @@ The subsystem has three layers:
   FTL schemes and the simulator; zero overhead when detached;
 * **sinks / metrics** - JSONL and ring-buffer sinks, the streaming
   per-cause :class:`AttributionSink`, and counters/histograms in a
-  :class:`MetricsRegistry`.
+  :class:`MetricsRegistry`;
+* **latency / series** - the per-op cause decomposition
+  (:class:`OpLatencyRecorder` over a :class:`MultiResHistogram`) and the
+  windowed time-series :class:`SeriesCollector`;
+* **report** - one :func:`collect_report` snapshot per run, rendered by
+  :func:`render_report` or consumed as JSON (``repro report``).
 
 Quick start::
 
@@ -28,26 +33,54 @@ or, from the command line::
 
 from .events import (
     FLASH_OP_TYPES,
+    HOST_OP_TYPES,
     SCHEMA_VERSION,
     SPAN_PAIRS,
     Cause,
     EventType,
     TraceEvent,
 )
+from .latency import BUCKETS, MultiResHistogram, OpLatencyRecorder, bucket_of
 from .metrics import Counter, MetricsRegistry, StreamingHistogram
+from .report import (
+    SNAPSHOT_SCHEMA,
+    build_snapshot,
+    collect_report,
+    load_snapshot,
+    render_report,
+    save_snapshot,
+    sparkline,
+    validate_snapshot,
+)
+from .series import SERIES_SCHEMA_VERSION, SeriesCollector
 from .sinks import AttributionSink, JsonlSink, RingBufferSink, TraceSink
 from .tracer import Tracer
 
 __all__ = [
     "FLASH_OP_TYPES",
+    "HOST_OP_TYPES",
     "SCHEMA_VERSION",
     "SPAN_PAIRS",
     "Cause",
     "EventType",
     "TraceEvent",
+    "BUCKETS",
+    "MultiResHistogram",
+    "OpLatencyRecorder",
+    "bucket_of",
     "Counter",
     "MetricsRegistry",
     "StreamingHistogram",
+    "SNAPSHOT_SCHEMA",
+    "build_snapshot",
+    "collect_report",
+    "load_snapshot",
+    "render_report",
+    "save_snapshot",
+    "sparkline",
+    "validate_snapshot",
+    "SERIES_SCHEMA_VERSION",
+    "SeriesCollector",
     "AttributionSink",
     "JsonlSink",
     "RingBufferSink",

@@ -40,6 +40,7 @@ class EventType(str, Enum):
 
     HOST_READ = "HostRead"        #: one page-granular host read, at completion
     HOST_WRITE = "HostWrite"      #: one page-granular host write, at completion
+    HOST_TRIM = "HostTrim"        #: one page-granular host discard/trim
     GC_START = "GCStart"          #: a GC pass begins (victim chosen)
     GC_END = "GCEnd"              #: the GC pass finished (dur_us = span)
     MERGE_START = "MergeStart"    #: a log-block merge begins
@@ -56,6 +57,11 @@ class EventType(str, Enum):
 #: Event types that carry simulated device time in ``dur_us``.
 FLASH_OP_TYPES = frozenset(
     (EventType.PAGE_READ, EventType.PAGE_PROGRAM, EventType.BLOCK_ERASE)
+)
+
+#: Host-operation completion events (one per logical page op).
+HOST_OP_TYPES = frozenset(
+    (EventType.HOST_READ, EventType.HOST_WRITE, EventType.HOST_TRIM)
 )
 
 #: Start/end pairs that must nest and balance per scheme.

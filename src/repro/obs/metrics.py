@@ -47,6 +47,14 @@ class StreamingHistogram:
         self._buckets: Dict[int, int] = {}
 
     def add(self, value: float) -> None:
+        if math.isnan(value) or math.isinf(value):
+            # A NaN would land in an undefined bucket (math.ceil raises
+            # mid-update, after count/total were already bumped) and an
+            # infinity overflows log2 - reject both up front so the
+            # histogram can never be left half-updated.
+            raise ValueError(
+                f"histogram samples must be finite, got {value!r}"
+            )
         if value < 0:
             raise ValueError("histogram samples must be non-negative")
         self.count += 1
@@ -67,7 +75,13 @@ class StreamingHistogram:
         return [(2.0 ** b, self._buckets[b]) for b in sorted(self._buckets)]
 
     def quantile(self, q: float) -> float:
-        """Approximate q-quantile (0 < q <= 1): its bucket's upper bound."""
+        """Approximate q-quantile (0 < q <= 1): its bucket's upper bound.
+
+        Documented edge cases: an **empty** histogram returns ``0.0`` for
+        every q; a **single observation** returns exactly that value
+        (the upper bound is clamped to the tracked ``max``); quantiles
+        landing in the top bucket never exceed ``max``.
+        """
         if not 0 < q <= 1:
             raise ValueError("q must be in (0, 1]")
         if not self.count:

@@ -1,0 +1,351 @@
+"""Windowed time-series over the simulated clock.
+
+The attribution sink and the latency recorder aggregate over a whole run;
+this module keeps the *trajectory*: fixed-width windows of simulated time
+(default 0.1 s) holding ops/s, write amplification, GC debt, the
+translation-cache hit-rate estimate, erase-count variance and per-cause
+stall fractions.  Windows live in a bounded ring (oldest evicted first,
+**counted** in :attr:`SeriesCollector.windows_dropped` - never silently),
+and export as JSONL (one window per line) or Prometheus-style text
+exposition for scraping a live service frontend later (ROADMAP item 2).
+
+Metric definitions (documented once, used by report + exposition):
+
+* ``ops_per_sec`` - host page ops completed in the window / window span;
+* ``waf`` - raw page programs / host page writes in the window (write
+  amplification factor; ``None`` when the window saw no host write);
+* ``gc_debt_pages`` - valid pages relocated by GC + merges in the window
+  (the cleaning backlog actually paid, in pages);
+* ``map_hit_rate`` - 1 - translation-page reads per host op, clamped to
+  [0, 1]: the UMT/CMT hit-rate estimate observable from the event stream
+  (each MapRead is a cache miss that went to flash);
+* ``erase_variance`` - population variance of per-block erase counts at
+  window close (cumulative; over all blocks when ``num_blocks`` is
+  given, else over blocks seen erasing);
+* ``stall_fractions`` - per-cause share of the window's flash time.
+
+A :class:`SeriesCollector` is a plain :class:`~repro.obs.sinks.TraceSink`:
+pass it to the tracer's sink list.  State is keyed by scheme (the tracer
+clock restarts per scheme in a comparison run).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Deque, Dict, List, Optional, TextIO, Union
+
+from .events import FLASH_OP_TYPES, EventType, TraceEvent
+from .sinks import TraceSink
+
+#: Version stamp of the per-window JSONL record layout.
+SERIES_SCHEMA_VERSION = 1
+
+#: Default window width in simulated microseconds (0.1 s).
+DEFAULT_WINDOW_US = 100_000.0
+
+
+class Window:
+    """Raw per-window counters; derived metrics come from :meth:`as_dict`."""
+
+    __slots__ = ("index", "host_reads", "host_writes", "host_trims",
+                 "page_reads", "page_programs", "block_erases",
+                 "map_reads", "map_writes", "gc_runs", "converts",
+                 "gc_copy_pages", "time_by_cause")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.host_reads = 0
+        self.host_writes = 0
+        self.host_trims = 0
+        self.page_reads = 0
+        self.page_programs = 0
+        self.block_erases = 0
+        self.map_reads = 0
+        self.map_writes = 0
+        self.gc_runs = 0
+        self.converts = 0
+        self.gc_copy_pages = 0
+        self.time_by_cause: Dict[str, float] = {}
+
+    @property
+    def host_ops(self) -> int:
+        return self.host_reads + self.host_writes + self.host_trims
+
+    def as_dict(self, window_us: float,
+                erase_variance: float) -> Dict[str, object]:
+        flash_us = sum(self.time_by_cause.values())
+        host_ops = self.host_ops
+        waf = (self.page_programs / self.host_writes
+               if self.host_writes else None)
+        map_hit = (max(0.0, min(1.0, 1.0 - self.map_reads / host_ops))
+                   if host_ops else None)
+        return {
+            "schema": SERIES_SCHEMA_VERSION,
+            "window": self.index,
+            "t_us": self.index * window_us,
+            "window_us": window_us,
+            "host_ops": host_ops,
+            "ops_per_sec": host_ops / (window_us / 1e6),
+            "host_reads": self.host_reads,
+            "host_writes": self.host_writes,
+            "host_trims": self.host_trims,
+            "page_reads": self.page_reads,
+            "page_programs": self.page_programs,
+            "block_erases": self.block_erases,
+            "map_reads": self.map_reads,
+            "map_writes": self.map_writes,
+            "gc_runs": self.gc_runs,
+            "converts": self.converts,
+            "waf": waf,
+            "gc_debt_pages": self.gc_copy_pages,
+            "map_hit_rate": map_hit,
+            "erase_variance": erase_variance,
+            "flash_time_us": round(flash_us, 3),
+            "stall_fractions": {
+                cause: spent / flash_us
+                for cause, spent in sorted(self.time_by_cause.items())
+            } if flash_us > 0 else {},
+        }
+
+
+class _SchemeSeries:
+    """Ring of closed windows plus the one being filled, for one scheme."""
+
+    __slots__ = ("ring", "current", "dropped", "erase_counts")
+
+    def __init__(self, capacity: int):
+        self.ring: Deque[Dict[str, object]] = deque(maxlen=capacity)
+        self.current: Optional[Window] = None
+        self.dropped = 0
+        self.erase_counts: Dict[int, int] = {}
+
+
+class SeriesCollector(TraceSink):
+    """Folds the event stream into per-window time-series (see module doc).
+
+    Args:
+        window_us: Window width in simulated microseconds.
+        capacity: Closed windows kept per scheme (ring; evictions are
+            counted in :attr:`windows_dropped`, never silent).
+        num_blocks: Physical block count, when known - makes
+            ``erase_variance`` exact (blocks never erased count as zero).
+    """
+
+    def __init__(
+        self,
+        window_us: float = DEFAULT_WINDOW_US,
+        capacity: int = 720,
+        num_blocks: Optional[int] = None,
+    ):
+        if window_us <= 0:
+            raise ValueError("window_us must be positive")
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.window_us = window_us
+        self.capacity = capacity
+        self.num_blocks = num_blocks
+        self._schemes: Dict[str, _SchemeSeries] = {}
+
+    # ------------------------------------------------------------------
+    # Sink interface
+    # ------------------------------------------------------------------
+    def emit(self, event: TraceEvent) -> None:
+        state = self._schemes.get(event.scheme)
+        if state is None:
+            state = self._schemes[event.scheme] = _SchemeSeries(
+                self.capacity
+            )
+        index = int(event.ts // self.window_us)
+        window = state.current
+        if window is None:
+            window = state.current = Window(index)
+        elif index > window.index:
+            self._close_through(state, index)
+            window = state.current
+        self._accumulate(window, state, event)
+
+    def _close_through(self, state: _SchemeSeries, index: int) -> None:
+        """Close the current window and any empty gap windows before
+        ``index``; the ring counts what it evicts."""
+        window = state.current
+        assert window is not None
+        ring = state.ring
+        while window.index < index:
+            if len(ring) == ring.maxlen:
+                state.dropped += 1
+            ring.append(window.as_dict(
+                self.window_us, self._erase_variance(state)
+            ))
+            window = Window(window.index + 1)
+        state.current = window
+
+    def _accumulate(self, window: Window, state: _SchemeSeries,
+                    event: TraceEvent) -> None:
+        event_type = event.type
+        if event_type in FLASH_OP_TYPES:
+            cause = event.cause.value
+            window.time_by_cause[cause] = (
+                window.time_by_cause.get(cause, 0.0) + event.dur_us
+            )
+            if event_type is EventType.PAGE_READ:
+                window.page_reads += 1
+            elif event_type is EventType.PAGE_PROGRAM:
+                window.page_programs += 1
+                if cause in ("gc", "merge"):
+                    window.gc_copy_pages += 1
+            else:
+                window.block_erases += 1
+                pbn = event.ppn
+                if pbn is not None:
+                    state.erase_counts[pbn] = (
+                        state.erase_counts.get(pbn, 0) + 1
+                    )
+        elif event_type is EventType.HOST_READ:
+            window.host_reads += 1
+        elif event_type is EventType.HOST_WRITE:
+            window.host_writes += 1
+        elif event_type is EventType.HOST_TRIM:
+            window.host_trims += 1
+        elif event_type is EventType.MAP_READ:
+            window.map_reads += 1
+        elif event_type is EventType.MAP_WRITE:
+            window.map_writes += 1
+        elif event_type is EventType.GC_START:
+            window.gc_runs += 1
+        elif event_type is EventType.CONVERT:
+            window.converts += 1
+
+    def _erase_variance(self, state: _SchemeSeries) -> float:
+        counts = state.erase_counts
+        if not counts:
+            return 0.0
+        population = self.num_blocks if self.num_blocks else len(counts)
+        if population <= 0:
+            return 0.0
+        total = sum(counts.values())
+        mean = total / population
+        square_sum = sum(c * c for c in counts.values())
+        # Blocks never erased contribute (0 - mean)^2 each.
+        return (square_sum / population) - mean * mean
+
+    # ------------------------------------------------------------------
+    # Queries / export
+    # ------------------------------------------------------------------
+    def schemes(self) -> List[str]:
+        return sorted(self._schemes)
+
+    def windows_dropped(self, scheme: str) -> int:
+        state = self._schemes.get(scheme)
+        return state.dropped if state is not None else 0
+
+    def windows(self, scheme: str) -> List[Dict[str, object]]:
+        """All retained windows, oldest first, including the open one."""
+        state = self._schemes.get(scheme)
+        if state is None:
+            return []
+        out = list(state.ring)
+        if state.current is not None:
+            out.append(state.current.as_dict(
+                self.window_us, self._erase_variance(state)
+            ))
+        return out
+
+    def series(self, scheme: str, metric: str) -> List[float]:
+        """One metric across the retained windows (None -> 0.0)."""
+        values = []
+        for window in self.windows(scheme):
+            value = window.get(metric)
+            values.append(float(value) if value is not None else 0.0)
+        return values
+
+    def snapshot(self, scheme: str) -> Dict[str, object]:
+        return {
+            "window_us": self.window_us,
+            "capacity": self.capacity,
+            "windows_dropped": self.windows_dropped(scheme),
+            "windows": self.windows(scheme),
+        }
+
+    def to_jsonl(self, target: Union[str, TextIO],
+                 scheme: Optional[str] = None) -> int:
+        """Write retained windows as JSONL; returns lines written."""
+        if isinstance(target, str):
+            with open(target, "w", encoding="utf-8") as stream:
+                return self.to_jsonl(stream, scheme=scheme)
+        schemes = [scheme] if scheme is not None else self.schemes()
+        written = 0
+        for name in schemes:
+            for window in self.windows(name):
+                record = {"scheme": name}
+                record.update(window)
+                target.write(json.dumps(record))
+                target.write("\n")
+                written += 1
+        return written
+
+    def to_prometheus(self, scheme: Optional[str] = None) -> str:
+        """Prometheus-style text exposition of the latest window state."""
+        lines = [
+            "# HELP repro_ops_per_sec host page ops per second "
+            "(latest window, simulated time)",
+            "# TYPE repro_ops_per_sec gauge",
+            "# HELP repro_waf write amplification (latest window)",
+            "# TYPE repro_waf gauge",
+            "# HELP repro_map_hit_rate UMT/CMT hit-rate estimate "
+            "(latest window)",
+            "# TYPE repro_map_hit_rate gauge",
+            "# HELP repro_erase_count_variance per-block erase-count "
+            "variance (cumulative)",
+            "# TYPE repro_erase_count_variance gauge",
+            "# HELP repro_host_ops_total host page ops (retained windows)",
+            "# TYPE repro_host_ops_total counter",
+            "# HELP repro_flash_time_us_total simulated flash time by "
+            "cause (retained windows)",
+            "# TYPE repro_flash_time_us_total counter",
+            "# HELP repro_windows_dropped_total series ring evictions",
+            "# TYPE repro_windows_dropped_total counter",
+        ]
+        schemes = [scheme] if scheme is not None else self.schemes()
+        for name in schemes:
+            windows = self.windows(name)
+            if not windows:
+                continue
+            label = f'{{scheme="{name}"}}'
+            latest = windows[-1]
+            for metric, key in (
+                ("repro_ops_per_sec", "ops_per_sec"),
+                ("repro_waf", "waf"),
+                ("repro_map_hit_rate", "map_hit_rate"),
+                ("repro_erase_count_variance", "erase_variance"),
+            ):
+                value = latest.get(key)
+                if value is not None:
+                    lines.append(f"{metric}{label} {value:.6g}")
+            lines.append(
+                f"repro_host_ops_total{label} "
+                f"{sum(w['host_ops'] for w in windows)}"
+            )
+            by_cause: Dict[str, float] = {}
+            for window in windows:
+                for cause, spent in self._cause_times(window).items():
+                    by_cause[cause] = by_cause.get(cause, 0.0) + spent
+            for cause, spent in sorted(by_cause.items()):
+                lines.append(
+                    f'repro_flash_time_us_total{{scheme="{name}",'
+                    f'cause="{cause}"}} {spent:.6g}'
+                )
+            lines.append(
+                f"repro_windows_dropped_total{label} "
+                f"{self.windows_dropped(name)}"
+            )
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _cause_times(window: Dict[str, object]) -> Dict[str, float]:
+        fractions = window["stall_fractions"]
+        flash_us = float(window["flash_time_us"])
+        return {
+            cause: share * flash_us
+            for cause, share in fractions.items()  # type: ignore[union-attr]
+        }

@@ -53,7 +53,14 @@ class JsonlSink(TraceSink):
 
 
 class RingBufferSink(TraceSink):
-    """Keeps the most recent ``capacity`` events in memory."""
+    """Keeps the most recent ``capacity`` events in memory.
+
+    Eviction is **counted**, never silent: once full, each new event
+    increments :attr:`dropped` as the oldest event is overwritten, and
+    :meth:`dump` writes a leading metadata record so offline analysis
+    (``repro inspect-trace``) can surface the loss instead of treating a
+    truncated window as the whole run.
+    """
 
     def __init__(self, capacity: int = 4096):
         if capacity < 1:
@@ -61,8 +68,12 @@ class RingBufferSink(TraceSink):
         self.capacity = capacity
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self.events_seen = 0
+        #: Events overwritten after the ring filled (oldest-first loss).
+        self.dropped = 0
 
     def emit(self, event: TraceEvent) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
         self._events.append(event)
         self.events_seen += 1
 
@@ -75,6 +86,33 @@ class RingBufferSink(TraceSink):
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self._events)
+
+    def meta_record(self) -> Dict[str, object]:
+        """The JSONL metadata line describing this ring's completeness."""
+        return {
+            "meta": "ring",
+            "schema": 1,
+            "capacity": self.capacity,
+            "events_seen": self.events_seen,
+            "dropped": self.dropped,
+        }
+
+    def dump(self, target: Union[str, TextIO]) -> int:
+        """Write the retained events as JSONL, metadata line first.
+
+        Returns the number of *event* lines written.  Readers that skip
+        records carrying a ``meta`` key (``repro.analysis.read_trace``)
+        see a plain event trace; ``inspect-trace`` reports the drop count.
+        """
+        if isinstance(target, str):
+            with open(target, "w", encoding="utf-8") as stream:
+                return self.dump(stream)
+        target.write(json.dumps(self.meta_record()))
+        target.write("\n")
+        for event in self._events:
+            target.write(json.dumps(event.to_record()))
+            target.write("\n")
+        return len(self._events)
 
 
 class AttributionSink(TraceSink):

@@ -27,30 +27,40 @@ When attached, the tracer:
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Iterable, List, Optional, Tuple
 
 from .events import Cause, EventType, TraceEvent
 from .metrics import MetricsRegistry
 from .sinks import AttributionSink, TraceSink
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .latency import OpLatencyRecorder
 
 
 class Tracer:
     """Collects typed events from an instrumented simulator run.
 
     Args:
-        sinks: Extra sinks (JSONL writer, ring buffer, ...).  The
-            attribution aggregator and metrics registry are built in.
+        sinks: Extra sinks (JSONL writer, ring buffer, time-series
+            collector, ...).  The attribution aggregator and metrics
+            registry are built in.
         metrics: Optional externally-owned registry to record into.
+        latency: Optional :class:`~repro.obs.latency.OpLatencyRecorder`;
+            when attached, every event is folded into the per-op cause
+            decomposition and the simulator's fences / queue delays are
+            forwarded to it.
     """
 
     def __init__(
         self,
         sinks: Iterable[TraceSink] = (),
         metrics: Optional[MetricsRegistry] = None,
+        latency: Optional["OpLatencyRecorder"] = None,
     ):
         self.sinks: List[TraceSink] = list(sinks)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.attribution = AttributionSink()
+        self.latency = latency
         self.clock = 0.0
         self.scheme = ""
         self.enabled = True
@@ -132,6 +142,8 @@ class Tracer:
         )
         self.events_emitted += 1
         self.attribution.emit(event)
+        if self.latency is not None:
+            self.latency.observe(event)
         self.metrics.counter(f"events.{type.value}").inc()
         for sink in self.sinks:
             sink.emit(event)
@@ -160,6 +172,28 @@ class Tracer:
         type = EventType.HOST_WRITE if is_write else EventType.HOST_READ
         self.emit(type, lpn=lpn, dur_us=dur_us)
         self.metrics.histogram(f"host.{type.value}_us").add(dur_us)
+
+    def host_trim(self, lpn: int, dur_us: float = 0.0) -> None:
+        """Record a completed page-granular host discard/trim."""
+        if not self.enabled:
+            return
+        self.emit(EventType.HOST_TRIM, lpn=lpn, dur_us=dur_us)
+        self.metrics.histogram("host.HostTrim_us").add(dur_us)
+
+    def op_fence(self) -> None:
+        """Mark subsequent flash time as belonging to no host op.
+
+        The simulator calls this after granting device idle time to
+        background housekeeping, so the latency recorder never folds that
+        work into the next host op's decomposition.
+        """
+        if self.enabled and self.latency is not None:
+            self.latency.fence(self.scheme)
+
+    def queue_delay(self, is_write: bool, wait_us: float) -> None:
+        """Record one request's open-loop wait behind the busy device."""
+        if self.enabled and self.latency is not None:
+            self.latency.note_queue_delay(self.scheme, is_write, wait_us)
 
     # ------------------------------------------------------------------
     # Spans (GC / merge / convert)

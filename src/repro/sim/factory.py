@@ -83,6 +83,7 @@ def standard_setup(
     logical_fraction: float = 0.85,
     timing: TimingModel = SLC_TIMING,
     sanitize: bool = False,
+    tracer: Any = None,
     **options: Any,
 ):
     """Build a (flash, ftl, logical_pages) triple with shared defaults.
@@ -97,6 +98,10 @@ def standard_setup(
     wrapped in :class:`~repro.checks.SanitizedFTL` (read-your-writes
     shadow map + :meth:`audit`); any NAND-contract breach raises a
     structured :class:`~repro.checks.SanitizerViolation`.
+
+    A ``tracer`` (:class:`~repro.obs.Tracer`) is attached before the FTL
+    is returned, so construction-time flash traffic and direct host calls
+    are observable without going through the simulator.
     """
     if not 0.0 < logical_fraction < 1.0:
         raise ValueError("logical_fraction must be in (0, 1)")
@@ -115,6 +120,8 @@ def standard_setup(
     ftl = build_ftl(scheme, flash, logical_pages, **options)
     if sanitize:
         ftl = SanitizedFTL(ftl)
+    if tracer is not None:
+        ftl.attach_tracer(tracer)
     return flash, ftl, logical_pages
 
 

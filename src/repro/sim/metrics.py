@@ -33,6 +33,13 @@ class LatencyDistribution:
         self.sorts_performed = 0
 
     def add(self, value: float) -> None:
+        if not math.isfinite(value):
+            # NaN slips past every comparison-based guard (NaN < 0 is
+            # False) and then poisons the sort memo and every percentile;
+            # infinities make mean/total meaningless.  Reject both.
+            raise ValueError(
+                f"latency samples must be finite, got {value!r}"
+            )
         if value < 0:
             raise ValueError("latency samples must be non-negative")
         samples = self._samples
@@ -69,7 +76,11 @@ class LatencyDistribution:
         return self._min if self._samples else 0.0
 
     def percentile(self, q: float) -> float:
-        """Exact q-quantile (0 < q <= 100), nearest-rank method."""
+        """Exact q-quantile (0 < q <= 100), nearest-rank method.
+
+        Documented edge cases: an **empty** distribution returns ``0.0``
+        for every q; a **single sample** returns exactly that sample.
+        """
         if not 0 < q <= 100:
             raise ValueError("q must be in (0, 100]")
         if not self._samples:

@@ -273,7 +273,15 @@ class Simulator:
                 if used > 0:
                     device_free_at += used
                     busy += used
+                # Idle-time housekeeping belongs to no host op: fence it so
+                # the latency recorder never folds its flash time into the
+                # next request's decomposition.
+                tracer.op_fence()
             start = arrival if arrival > device_free_at else device_free_at
+            if start > arrival:
+                # Open-loop wait behind the busy device: response time =
+                # queueing + service; the recorder keeps them separate.
+                tracer.queue_delay(op, start - arrival)
             # Events of this request are stamped from its service start;
             # flash ops advance the clock as they happen.
             set_clock(start)

@@ -207,6 +207,44 @@ class FTLConformance:
         ftl = self.new_ftl()
         assert ftl.ram_bytes() > 0
 
+    def test_latency_decomposition_sums_to_op_latency(self):
+        """Every op's cause buckets (+ unattributed) sum to its latency.
+
+        The flashsan-checked observability invariant, asserted per op:
+        with a latency recorder attached, the flash time observed during
+        one host operation, bucketed by cause, must account for exactly
+        the latency the FTL charged - across GC storms, merges and
+        translation traffic alike.
+        """
+        from repro.obs import OpLatencyRecorder, Tracer
+
+        ftl = self.new_ftl()
+        recorder = OpLatencyRecorder()
+        tracer = Tracer(latency=recorder)
+        ftl.attach_tracer(tracer)
+        tracer.begin_run(ftl.name)
+        rng = random.Random(77)
+        n_ops = self.LOGICAL_PAGES * 4
+        for i in range(n_ops):
+            lpn = rng.randrange(self.LOGICAL_PAGES)
+            if rng.random() < 0.75:
+                latency = ftl.write(lpn, i).latency_us
+                tracer.host_op(True, lpn, latency)
+            else:
+                latency = ftl.read(lpn).latency_us
+                tracer.host_op(False, lpn, latency)
+            last = recorder.last_op
+            assert last is not None
+            assert last.parts_total() == pytest.approx(
+                latency, abs=1e-6
+            ), f"op {i}: decomposition does not sum to the op latency"
+        verdict = recorder.invariants()[ftl.name]
+        assert verdict["checked_ops"] == n_ops
+        assert verdict["violations"] == 0
+        if self.SANITIZE:
+            # The audit re-checks the same invariant through flashsan.
+            ftl.assert_clean()
+
     def test_valid_page_conservation(self):
         """After any workload, total valid data pages == live logical pages."""
         ftl = self.new_ftl()

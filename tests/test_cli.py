@@ -135,6 +135,76 @@ class TestTracingCommands:
         assert "cannot open --trace-out" in capsys.readouterr().err
 
 
+@pytest.mark.obs
+class TestReportCommand:
+    def test_live_report_renders_dashboard(self, capsys):
+        rc = main([
+            "report", "--trace", "random", "--requests", "400",
+            "--scheme", "LazyFTL", *SMALL_DEVICE,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "service latency by op class" in out
+        assert "where the time went" in out
+        assert "decomposition invariant: OK" in out
+
+    def test_json_output_is_a_valid_snapshot(self, capsys):
+        import json
+
+        from repro.obs.report import validate_snapshot
+
+        rc = main([
+            "report", "--trace", "random", "--requests", "400",
+            "--json", *SMALL_DEVICE,
+        ])
+        assert rc == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert validate_snapshot(snapshot) == []
+        assert snapshot["scheme"] == "LazyFTL"  # the default scheme
+        classes = snapshot["latency"]["classes"]
+        assert classes["overall"]["attributed_fraction"] >= 0.99
+
+    def test_snapshot_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "snap.json"
+        rc = main([
+            "report", "--trace", "random", "--requests", "300",
+            "--snapshot", str(path), *SMALL_DEVICE,
+        ])
+        assert rc == 0
+        assert "snapshot written" in capsys.readouterr().err
+        rc = main(["report", "--from-snapshot", str(path)])
+        assert rc == 0
+        assert "service latency by op class" in capsys.readouterr().out
+
+    def test_from_snapshot_rejects_garbage(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "nope"}')
+        assert main(["report", "--from-snapshot", str(path)]) == 2
+        assert capsys.readouterr().err
+        assert main([
+            "report", "--from-snapshot", str(tmp_path / "missing.json"),
+        ]) == 2
+
+    def test_ring_events_out_feeds_inspect_trace(self, tmp_path, capsys):
+        """--ring-capacity + --events-out yields a trace whose ring meta
+        makes inspect-trace warn about the dropped window."""
+        path = tmp_path / "ring.jsonl"
+        rc = main([
+            "report", "--trace", "random", "--requests", "500",
+            "--ring-capacity", "64", "--events-out", str(path),
+            *SMALL_DEVICE,
+        ])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "dropped by the ring" in err
+        rc = main(["inspect-trace", str(path)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "flash time by cause" in captured.out
+        assert "WARNING: ring buffer (capacity 64) dropped" in captured.err
+        assert "most recent window" in captured.err
+
+
 @pytest.mark.crash
 class TestCrashcheckCLI:
     def test_clean_exploration(self, capsys):

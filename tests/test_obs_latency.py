@@ -1,0 +1,238 @@
+"""Unit tests for the per-op latency decomposition layer: the
+multi-resolution histogram, cause bucketing, and the OpLatencyRecorder
+invariant (sum of parts == whole) including fencing and queueing."""
+
+import math
+
+import pytest
+
+from repro.obs import Cause, EventType, TraceEvent
+from repro.obs.latency import (
+    BUCKETS,
+    MultiResHistogram,
+    OpLatencyRecorder,
+    bucket_of,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def _flash(type, cause, dur, scheme="X", ppn=0):
+    return TraceEvent(type=type, ts=0.0, scheme=scheme, cause=cause,
+                      ppn=ppn, dur_us=dur)
+
+
+def _host(type, dur, scheme="X"):
+    return TraceEvent(type=type, ts=0.0, scheme=scheme, cause=Cause.HOST,
+                      lpn=0, dur_us=dur)
+
+
+class TestMultiResHistogram:
+    def test_empty_quantiles_are_zero(self):
+        hist = MultiResHistogram()
+        assert hist.quantile(0.5) == 0.0
+        assert hist.quantile(1.0) == 0.0
+        assert hist.count == 0
+        assert hist.min == 0.0
+        assert hist.max == 0.0
+
+    def test_single_observation_is_exact_everywhere(self):
+        hist = MultiResHistogram()
+        hist.add(1234.5)
+        for q in (0.001, 0.5, 0.99, 0.999, 1.0):
+            assert hist.quantile(q) == 1234.5
+        assert hist.mean == 1234.5
+
+    def test_quantile_relative_error_bound(self):
+        hist = MultiResHistogram()
+        values = [float(v) for v in range(1, 20000, 7)]
+        for v in values:
+            hist.add(v)
+        values.sort()
+        for q in (0.5, 0.9, 0.99, 0.999):
+            exact = values[math.ceil(q * len(values)) - 1]
+            approx = hist.quantile(q)
+            assert abs(approx - exact) / exact < 1.0 / 32 + 1e-9
+
+    def test_sub_microsecond_resolution(self):
+        hist = MultiResHistogram()
+        for v in (0.1, 0.2, 0.9):
+            hist.add(v)
+        assert hist.quantile(0.5) == pytest.approx(0.2, abs=1.0 / 32)
+
+    def test_overflow_bucket(self):
+        hist = MultiResHistogram(max_trackable_us=1000.0)
+        hist.add(5.0)
+        hist.add(999999.0)
+        assert hist.overflow == 1
+        # The overflow quantile reports the exact tracked max.
+        assert hist.quantile(1.0) == 999999.0
+        assert hist.as_dict()["overflow"] == 1
+
+    def test_rejects_nan_and_inf(self):
+        hist = MultiResHistogram()
+        for bad in (float("nan"), float("inf"), -float("inf")):
+            with pytest.raises(ValueError):
+                hist.add(bad)
+        with pytest.raises(ValueError):
+            hist.add(-1.0)
+        assert hist.count == 0  # rejected samples left no partial state
+
+    def test_quantile_domain_checked(self):
+        hist = MultiResHistogram()
+        with pytest.raises(ValueError):
+            hist.quantile(0.0)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError):
+            hist.percentile(0.0)
+
+    def test_power_of_two_boundary(self):
+        hist = MultiResHistogram()
+        for v in (1.0, 2.0, 4.0, 1024.0, 2.0 ** 30):
+            hist.add(v)  # exact octave boundaries must not misindex
+        assert hist.count == 5
+        assert hist.quantile(1.0) == 2.0 ** 30
+
+
+class TestBucketOf:
+    def test_host_flash_ops_map_to_device_buckets(self):
+        assert bucket_of(_flash(EventType.PAGE_READ, Cause.HOST, 1)) \
+            == "device_read"
+        assert bucket_of(_flash(EventType.PAGE_PROGRAM, Cause.HOST, 1)) \
+            == "device_program"
+        assert bucket_of(_flash(EventType.BLOCK_ERASE, Cause.HOST, 1)) \
+            == "device_erase"
+
+    def test_housekeeping_causes(self):
+        assert bucket_of(_flash(EventType.PAGE_PROGRAM, Cause.GC, 1)) == "gc"
+        assert bucket_of(
+            _flash(EventType.BLOCK_ERASE, Cause.MERGE, 1)) == "merge"
+        assert bucket_of(
+            _flash(EventType.PAGE_READ, Cause.MAPPING, 1)
+        ) == "translation_read"
+        assert bucket_of(
+            _flash(EventType.PAGE_PROGRAM, Cause.MAPPING, 1)
+        ) == "mapping_commit"
+        assert bucket_of(
+            _flash(EventType.PAGE_PROGRAM, Cause.CONVERT, 1)
+        ) == "mapping_commit"
+        assert bucket_of(
+            _flash(EventType.PAGE_READ, Cause.RECOVERY, 1)) == "recovery"
+
+    def test_every_bucket_is_declared(self):
+        for event in (
+            _flash(EventType.PAGE_READ, cause, 1.0) for cause in Cause
+        ):
+            assert bucket_of(event) in BUCKETS
+
+
+class TestOpLatencyRecorder:
+    def test_exact_decomposition(self):
+        rec = OpLatencyRecorder()
+        rec.observe(_flash(EventType.PAGE_READ, Cause.MAPPING, 25.0))
+        rec.observe(_flash(EventType.PAGE_PROGRAM, Cause.HOST, 200.0))
+        rec.observe(_host(EventType.HOST_WRITE, 225.0))
+        last = rec.last_op
+        assert last.op_class == "write"
+        assert last.parts == {
+            "translation_read": 25.0, "device_program": 200.0,
+        }
+        assert last.unattributed_us == 0.0
+        assert last.parts_total() == 225.0
+        verdict = rec.invariants()["X"]
+        assert verdict == {
+            "checked_ops": 1, "violations": 0, "max_residual_us": 0.0,
+        }
+
+    def test_positive_residual_is_unattributed_not_violation(self):
+        rec = OpLatencyRecorder()
+        rec.observe(_flash(EventType.PAGE_READ, Cause.HOST, 50.0))
+        rec.observe(_host(EventType.HOST_READ, 80.0))
+        last = rec.last_op
+        assert last.unattributed_us == pytest.approx(30.0)
+        assert last.parts_total() == pytest.approx(80.0)
+        assert rec.invariants()["X"]["violations"] == 0
+        summary = rec.scheme_summary("X")
+        read = summary["classes"]["read"]
+        assert read["unattributed_us"] == pytest.approx(30.0)
+        assert read["attributed_fraction"] == pytest.approx(50.0 / 80.0)
+
+    def test_negative_residual_counts_as_violation(self):
+        rec = OpLatencyRecorder()
+        rec.observe(_flash(EventType.PAGE_PROGRAM, Cause.GC, 500.0))
+        rec.observe(_host(EventType.HOST_WRITE, 200.0))
+        verdict = rec.invariants()["X"]
+        assert verdict["violations"] == 1
+        assert verdict["max_residual_us"] == pytest.approx(300.0)
+
+    def test_float_dust_within_tolerance_is_not_violation(self):
+        rec = OpLatencyRecorder()
+        rec.observe(_flash(EventType.PAGE_READ, Cause.HOST, 25.0))
+        rec.observe(_host(EventType.HOST_READ, 25.0 - 1e-7))
+        assert rec.invariants()["X"]["violations"] == 0
+
+    def test_fence_keeps_idle_work_out_of_next_op(self):
+        rec = OpLatencyRecorder()
+        rec.observe(_flash(EventType.PAGE_PROGRAM, Cause.GC, 400.0))
+        rec.fence("X")
+        rec.observe(_flash(EventType.PAGE_READ, Cause.HOST, 25.0))
+        rec.observe(_host(EventType.HOST_READ, 25.0))
+        last = rec.last_op
+        assert last.parts == {"device_read": 25.0}
+        assert rec.invariants()["X"]["violations"] == 0
+        summary = rec.scheme_summary("X")
+        assert summary["outside_us"] == {"gc": 400.0}
+
+    def test_scheme_switch_fences_pending(self):
+        rec = OpLatencyRecorder()
+        rec.observe(_flash(EventType.PAGE_PROGRAM, Cause.GC, 100.0,
+                           scheme="A"))
+        # Scheme B starts before A completed a host op: A's pending time
+        # must not leak into B's first op.
+        rec.observe(_flash(EventType.PAGE_READ, Cause.HOST, 25.0,
+                           scheme="B"))
+        rec.observe(_host(EventType.HOST_READ, 25.0, scheme="B"))
+        assert rec.last_op.parts == {"device_read": 25.0}
+        assert rec.scheme_summary("A")["outside_us"] == {"gc": 100.0}
+        assert rec.schemes() == ["A", "B"]
+
+    def test_queueing_is_outside_the_service_invariant(self):
+        rec = OpLatencyRecorder()
+        rec.note_queue_delay("X", True, 500.0)
+        rec.observe(_flash(EventType.PAGE_PROGRAM, Cause.HOST, 200.0))
+        rec.observe(_host(EventType.HOST_WRITE, 200.0))
+        summary = rec.scheme_summary("X")
+        write = summary["classes"]["write"]
+        assert write["queueing_us"] == pytest.approx(500.0)
+        assert write["attributed_fraction"] == 1.0
+        assert rec.invariants()["X"]["violations"] == 0
+
+    def test_trim_class_tracked(self):
+        rec = OpLatencyRecorder()
+        rec.observe(_host(EventType.HOST_TRIM, 0.0))
+        summary = rec.scheme_summary("X")
+        assert summary["classes"]["trim"]["count"] == 1
+        # Zero-latency ops are fully attributed by definition.
+        assert summary["classes"]["trim"]["attributed_fraction"] == 1.0
+
+    def test_slowest_ops_carry_their_decomposition(self):
+        rec = OpLatencyRecorder()
+        for i in range(20):
+            dur = 100.0 + i
+            rec.observe(_flash(EventType.PAGE_PROGRAM, Cause.HOST, dur))
+            rec.observe(_host(EventType.HOST_WRITE, dur))
+        overall = rec.scheme_summary("X")["classes"]["overall"]
+        slowest = overall["slowest"]
+        assert len(slowest) == 12  # TOP_K
+        assert slowest[0]["dur_us"] == 119.0  # worst first
+        assert slowest[0]["by_cause_us"] == {"device_program": 119.0}
+
+    def test_unknown_scheme_summary_is_none(self):
+        assert OpLatencyRecorder().scheme_summary("nope") is None
+
+    def test_as_dict_covers_all_schemes(self):
+        rec = OpLatencyRecorder()
+        rec.observe(_host(EventType.HOST_READ, 0.0, scheme="A"))
+        rec.observe(_host(EventType.HOST_READ, 0.0, scheme="B"))
+        assert sorted(rec.as_dict()) == ["A", "B"]

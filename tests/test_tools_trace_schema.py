@@ -75,6 +75,91 @@ class TestCheckTraceSchema:
         assert run_tool(str(tmp_path / "missing.jsonl")).returncode == 2
 
 
+class TestMetaRecords:
+    """Ring-buffer metadata lines: skipped by event checks, validated
+    for counter sanity."""
+
+    def test_clean_ring_meta_passes(self, tmp_path):
+        path = tmp_path / "ring.jsonl"
+        path.write_text("\n".join(json.dumps(r) for r in [
+            {"meta": "ring", "schema": 1, "capacity": 64,
+             "events_seen": 100, "dropped": 36},
+            {"type": "PageRead", "ts": 1, "scheme": "x", "cause": "host",
+             "ppn": 1, "dur_us": 25.0},
+        ]) + "\n")
+        proc = run_tool(str(path))
+        assert proc.returncode == 0, proc.stderr
+
+    def test_bad_meta_counters_fail(self, tmp_path):
+        path = tmp_path / "bad_meta.jsonl"
+        path.write_text("\n".join(json.dumps(r) for r in [
+            {"meta": "ring", "schema": 1, "capacity": -1,
+             "events_seen": 10, "dropped": 99},
+            {"meta": 7},
+        ]) + "\n")
+        proc = run_tool(str(path))
+        assert proc.returncode == 1
+        err = proc.stderr
+        assert "bad 'capacity'" in err
+        assert "claims 99 dropped out of only 10 seen" in err
+        assert "non-string kind" in err
+
+    def test_real_ring_dump_is_clean(self, tmp_path):
+        from repro.obs import RingBufferSink
+
+        device = DeviceSpec(num_blocks=96, pages_per_block=16,
+                            page_size=512, logical_fraction=0.7)
+        ring = RingBufferSink(64)
+        tracer = Tracer(sinks=[ring])
+        run_scheme(
+            "LazyFTL",
+            uniform_random(300, int(device.logical_pages * 0.9),
+                           write_ratio=0.9, seed=7),
+            device=device, tracer=tracer,
+        )
+        path = tmp_path / "ring_dump.jsonl"
+        ring.dump(str(path))
+        assert ring.dropped > 0  # 300 requests overflow a 64-slot ring
+        proc = run_tool(str(path))
+        assert proc.returncode == 0, proc.stderr
+
+
+class TestSnapshotValidation:
+    """The same tool validates report snapshots (auto-detected)."""
+
+    @staticmethod
+    def make_snapshot(tmp_path):
+        from repro.obs.report import collect_report, save_snapshot
+
+        device = DeviceSpec(num_blocks=96, pages_per_block=16,
+                            page_size=512, logical_fraction=0.7)
+        snapshot, _, _ = collect_report(
+            "LazyFTL",
+            uniform_random(400, int(device.logical_pages * 0.8),
+                           write_ratio=0.8, seed=5),
+            device=device,
+        )
+        path = tmp_path / "snap.json"
+        save_snapshot(snapshot, str(path))
+        return path, snapshot
+
+    def test_valid_snapshot_passes(self, tmp_path):
+        path, _ = self.make_snapshot(tmp_path)
+        proc = run_tool(str(path))
+        assert proc.returncode == 0, proc.stderr
+        assert "snapshot OK" in proc.stdout
+
+    def test_broken_snapshot_fails(self, tmp_path):
+        path, snapshot = self.make_snapshot(tmp_path)
+        snapshot["latency"]["classes"]["overall"]["p99_us"] = -1
+        snapshot["latency"]["classes"]["read"]["attributed_fraction"] = 2.0
+        path.write_text(json.dumps(snapshot))
+        proc = run_tool(str(path))
+        assert proc.returncode == 1
+        assert "not monotonic" in proc.stderr
+        assert "attributed_fraction" in proc.stderr
+
+
 class TestCauseStackConsistency:
     """Flash-op causes must agree with the open GC/merge spans."""
 

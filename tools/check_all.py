@@ -11,11 +11,15 @@ Runs, in order:
 4. **trace schema** - generates a small end-to-end trace via
    ``python -m repro compare --trace-out`` and validates it with
    ``tools/check_trace_schema.py`` (including cause-stack consistency);
-5. **perfbench** - ``benchmarks/perfbench.py --smoke --check``: replays
+5. **report** - renders a small latency-decomposition run report under
+   ``--sanitize`` (so the per-op decomposition invariant is audited),
+   saves the snapshot, and validates its schema with
+   ``tools/check_trace_schema.py``;
+6. **perfbench** - ``benchmarks/perfbench.py --smoke --check``: replays
    the smoke throughput suite and fails when any cell regresses more
    than ``[tool.perfbench] max_regression_pct`` against the committed
    ``BENCH_pr3.json`` 'after' baseline;
-6. **crashmc** - ``python -m repro crashcheck``: crash-consistency
+7. **crashmc** - ``python -m repro crashcheck``: crash-consistency
    smoke (every program/erase boundary of a short mixed workload for
    each recovery-capable scheme, plus the ``--mutate`` oracle
    self-test).
@@ -46,7 +50,8 @@ try:
 except ModuleNotFoundError:  # Python < 3.11
     tomllib = None
 
-STEPS = ("ftlint", "pytest", "mypy", "trace", "perfbench", "crashmc")
+STEPS = ("ftlint", "pytest", "mypy", "trace", "report", "perfbench",
+         "crashmc")
 
 
 def load_config() -> dict:
@@ -54,6 +59,7 @@ def load_config() -> dict:
         "lint_paths": ["src/repro", "tools", "tests", "benchmarks",
                        "examples"],
         "trace_requests": 300,
+        "report_requests": 2000,
         "crashmc_ops": 120,
     }
     pyproject = _REPO_ROOT / "pyproject.toml"
@@ -123,6 +129,32 @@ def step_trace(config: dict) -> bool:
         ])
 
 
+def step_report(config: dict) -> bool:
+    """Report smoke: render a small run's dashboard, save its snapshot,
+    and validate the snapshot schema (monotone quantiles, attribution
+    fractions, series windows) with ``tools/check_trace_schema.py``.
+    Runs under --sanitize so the latency-decomposition invariant is part
+    of the flashsan audit."""
+    with tempfile.TemporaryDirectory(prefix="check_all_") as tmp:
+        snapshot_path = str(pathlib.Path(tmp) / "report.json")
+        rendered = run_step("report:render", [
+            sys.executable, "-m", "repro", "report",
+            "--trace", "random",
+            "--requests", str(config["report_requests"]),
+            "--blocks", "96", "--pages-per-block", "16",
+            "--page-size", "512", "--logical-fraction", "0.7",
+            "--sanitize",
+            "--snapshot", snapshot_path,
+        ])
+        if not rendered:
+            return False
+        return run_step("report:schema", [
+            sys.executable,
+            str(_REPO_ROOT / "tools" / "check_trace_schema.py"),
+            snapshot_path,
+        ])
+
+
 def step_perfbench(config: dict) -> bool:
     return run_step("perfbench", [
         sys.executable, str(_REPO_ROOT / "benchmarks" / "perfbench.py"),
@@ -166,6 +198,7 @@ def main(argv=None) -> int:
         "pytest": step_pytest,
         "mypy": step_mypy,
         "trace": step_trace,
+        "report": step_report,
         "perfbench": step_perfbench,
         "crashmc": step_crashmc,
     }

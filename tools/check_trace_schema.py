@@ -1,9 +1,12 @@
-"""Validate a JSONL event trace against the observability schema.
+"""Validate observability artifacts: JSONL event traces and snapshots.
 
-Checks every line of a trace written by ``repro compare --trace-out``:
+For a JSONL trace written by ``repro compare --trace-out`` or a ring
+dump from ``repro report --events-out``, checks every line:
 
 * each record parses as JSON and round-trips through
   :class:`repro.obs.TraceEvent` (unknown ``type``/``cause`` values fail);
+* metadata records (a ``meta`` key, e.g. the ring sink's completeness
+  header) carry well-formed non-negative counters;
 * timestamps are non-negative and non-decreasing per scheme;
 * ``dur_us`` is non-negative, and present on every flash-op record;
 * GCStart/GCEnd and MergeStart/MergeEnd balance per scheme;
@@ -11,11 +14,18 @@ Checks every line of a trace written by ``repro compare --trace-out``:
   flash op tagged ``gc``/``merge`` needs that span open, and a flash op
   tagged ``host`` must not appear inside an open GC or merge span.
 
-Exit status is 0 when the trace is clean, 1 when any violation is found
-(each violation is printed with its line number), 2 on usage errors - so
-the script slots into CI after any trace-producing job.
+A ``repro report`` snapshot (a single JSON object with ``schema:
+"repro-report/1"``) is detected automatically and validated structurally
+via :func:`repro.obs.report.validate_snapshot` (required sections,
+monotone quantiles, attribution fractions in range, increasing series
+windows).
+
+Exit status is 0 when the artifact is clean, 1 when any violation is
+found (each violation is printed with its line number), 2 on usage
+errors - so the script slots into CI after any trace-producing job.
 
 Run:  python tools/check_trace_schema.py path/to/trace.jsonl
+      python tools/check_trace_schema.py path/to/snapshot.json
 """
 
 from __future__ import annotations
@@ -49,7 +59,13 @@ def check_trace(path: str, limit: int = 20):
             if not line:
                 continue
             try:
-                event = TraceEvent.from_record(json.loads(line))
+                record = json.loads(line)
+                if isinstance(record, dict) and "meta" in record:
+                    for message in _check_meta(record):
+                        yield lineno, message
+                        emitted += 1
+                    continue
+                event = TraceEvent.from_record(record)
             except (json.JSONDecodeError, KeyError, ValueError) as exc:
                 yield lineno, f"unparseable record: {exc}"
                 emitted += 1
@@ -123,23 +139,80 @@ def check_trace(path: str, limit: int = 20):
             )
 
 
+def _check_meta(record):
+    """Violation messages for one metadata record (empty when clean)."""
+    kind = record.get("meta")
+    if not isinstance(kind, str):
+        yield f"meta record with non-string kind {kind!r}"
+        return
+    if kind == "ring":
+        for key in ("capacity", "events_seen", "dropped"):
+            value = record.get(key)
+            if not isinstance(value, int) or value < 0:
+                yield (
+                    f"ring meta record with bad {key!r}: {value!r} "
+                    "(want a non-negative integer)"
+                )
+        seen = record.get("events_seen")
+        dropped = record.get("dropped")
+        if (isinstance(seen, int) and isinstance(dropped, int)
+                and dropped > seen):
+            yield (
+                f"ring meta record claims {dropped} dropped out of only "
+                f"{seen} seen"
+            )
+
+
+def sniff_snapshot(path: str):
+    """Return the parsed snapshot if ``path`` holds one, else None.
+
+    Snapshots are a single (pretty-printed) JSON object carrying
+    ``schema: "repro-report/..."``; traces are JSONL.  A trace's first
+    line never parses to the whole file, so whole-file parsing is an
+    unambiguous discriminator.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            document = json.load(stream)
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    if isinstance(document, dict) and str(
+            document.get("schema", "")).startswith("repro-report/"):
+        return document
+    return None
+
+
+def check_snapshot(snapshot):
+    """Yield ``(0, message)`` violations for a report snapshot."""
+    from repro.obs.report import validate_snapshot
+
+    for message in validate_snapshot(snapshot):
+        yield 0, message
+
+
 def main(argv):
     if len(argv) != 2 or argv[1] in ("-h", "--help"):
         print(__doc__.strip().splitlines()[0], file=sys.stderr)
-        print(f"usage: {argv[0]} TRACE.jsonl", file=sys.stderr)
+        print(f"usage: {argv[0]} TRACE.jsonl|SNAPSHOT.json",
+              file=sys.stderr)
         return 2
     path = argv[1]
     if not pathlib.Path(path).is_file():
         print(f"{path}: not a file", file=sys.stderr)
         return 2
+    snapshot = sniff_snapshot(path)
+    findings = (check_snapshot(snapshot) if snapshot is not None
+                else check_trace(path))
     violations = 0
-    for lineno, message in check_trace(path):
-        where = f"line {lineno}" if lineno else "end of trace"
+    for lineno, message in findings:
+        where = f"line {lineno}" if lineno else (
+            "snapshot" if snapshot is not None else "end of trace")
         print(f"{path}: {where}: {message}", file=sys.stderr)
         violations += 1
     if violations:
         return 1
-    print(f"{path}: OK")
+    kind = "snapshot OK" if snapshot is not None else "OK"
+    print(f"{path}: {kind}")
     return 0
 
 
