@@ -21,7 +21,7 @@ perturbing latencies or statistics.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..core.lazyftl import LazyFTL
 from ..flash.chip import NandFlash
@@ -200,7 +200,7 @@ class _Auditor:
             return False
         return True
 
-    def page_content(self, ppn: int):
+    def page_content(self, ppn: int) -> Any:
         """Raw page payload, bypassing the device (audit is free)."""
         pbn, offset = self.flash.geometry.split_ppn(ppn)
         return self.flash.blocks[pbn].pages[offset].data

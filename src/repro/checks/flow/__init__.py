@@ -1,0 +1,74 @@
+"""flowlint: CFG-based dataflow analyses for the LazyFTL reproduction.
+
+Where :mod:`repro.checks.lint` judges single AST nodes, this package
+understands *control flow*: it builds per-function control-flow graphs
+(:mod:`~repro.checks.flow.cfg`), solves intraprocedural dataflow problems
+over them (:mod:`~repro.checks.flow.dataflow` - reaching definitions,
+liveness, path reachability), and summarises intra-module helpers through
+a small call graph (:mod:`~repro.checks.flow.summaries`) so that protocol
+events performed by a helper count at its call sites.
+
+Four flow rules ship on top of that machinery, registered with the
+ordinary ftlint engine (same CLI, same per-line ``# ftlint: disable``):
+
+======  ==============================================================
+FTL010  PPN-lifecycle protocol (update↔invalidate pairing, frontier
+        PPNs programmed before they escape, erase only after evidence
+        of relocation/invalidation)
+FTL011  exception safety: no mapping-state write followed by a
+        may-raise statement inside a try whose handler swallows
+FTL012  determinism: no iteration over set-typed values on paths that
+        can reach stats/traces/victim selection (membership is exempt)
+FTL013  hot-loop safety: no closure creation, per-iteration container
+        builds, or repeated attribute-chain lookups inside the marked
+        replay/GC inner loops (flow-aware FTL007/FTL008 generalisation)
+======  ==============================================================
+"""
+
+from .cfg import CFG, BasicBlock, build_cfg, function_cfgs
+from .dataflow import (
+    LivenessResult,
+    ReachingDefs,
+    exists_path_avoiding,
+    liveness,
+    reachable_blocks,
+    reaching_definitions,
+    stmt_defs,
+    stmt_uses,
+)
+from .determinism import SetIterationRule
+from .excsafety import TornMappingStateRule
+from .hotloop import HotLoopRule
+from .protocol import PpnLifecycleRule
+from .summaries import ModuleSummaries, ProtocolEvent, call_name_chain
+
+#: Flow rules in report order; appended to the engine's ALL_RULES.
+FLOW_RULES = (
+    PpnLifecycleRule,
+    TornMappingStateRule,
+    SetIterationRule,
+    HotLoopRule,
+)
+
+__all__ = [
+    "BasicBlock",
+    "CFG",
+    "FLOW_RULES",
+    "HotLoopRule",
+    "LivenessResult",
+    "ModuleSummaries",
+    "PpnLifecycleRule",
+    "ProtocolEvent",
+    "ReachingDefs",
+    "SetIterationRule",
+    "TornMappingStateRule",
+    "build_cfg",
+    "call_name_chain",
+    "exists_path_avoiding",
+    "function_cfgs",
+    "liveness",
+    "reachable_blocks",
+    "reaching_definitions",
+    "stmt_defs",
+    "stmt_uses",
+]

@@ -1,0 +1,69 @@
+"""Shared base for flow rules: per-module setup, per-function CFGs.
+
+A :class:`FlowRule` is an ordinary ftlint :class:`~repro.checks.lint.base.Rule`
+(same registration, scoping and per-line ``# ftlint: disable``), but
+instead of visiting nodes it gets each top-level function of the module
+together with its CFG, the solved reaching definitions, the function's
+local attribute-chain aliases, and the module's call-graph summaries.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Tuple
+
+from ..rulebase import FileContext, LintViolation, Rule
+from .cfg import CFG, FunctionNode, build_cfg
+from .dataflow import ReachingDefs, reaching_definitions
+from .summaries import ModuleSummaries, local_aliases
+
+
+class FunctionAnalysis:
+    """Everything a flow rule knows about one function under analysis."""
+
+    __slots__ = ("func", "cfg", "aliases", "_reaching")
+
+    def __init__(self, func: FunctionNode):
+        self.func = func
+        self.cfg: CFG = build_cfg(func)
+        self.aliases: Dict[str, Tuple[str, ...]] = local_aliases(func)
+        self._reaching = None
+
+    @property
+    def reaching(self) -> ReachingDefs:
+        if self._reaching is None:
+            self._reaching = reaching_definitions(self.cfg)
+        return self._reaching
+
+
+class FlowRule(Rule):
+    """Base class for the CFG-based rules (FTL010+)."""
+
+    def run(self, tree: ast.AST) -> List[LintViolation]:
+        if not isinstance(tree, ast.Module):
+            return self.violations
+        summaries = ModuleSummaries(tree)
+        self.check_module(tree, summaries)
+        for func in self._module_functions(tree):
+            self.check_function(FunctionAnalysis(func), summaries, tree)
+        return self.violations
+
+    @staticmethod
+    def _module_functions(tree: ast.AST) -> List[FunctionNode]:
+        """Module- and class-level functions (nested defs are analysed
+        through their parent's CFG as closure statements, and separately
+        here as functions in their own right)."""
+        return [
+            node for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+
+    # -- hooks ---------------------------------------------------------
+    def check_module(self, tree: ast.Module,
+                     summaries: ModuleSummaries) -> None:
+        """Optional module-level pass (class attribute typing etc.)."""
+
+    def check_function(self, analysis: FunctionAnalysis,
+                       summaries: ModuleSummaries,
+                       tree: ast.Module) -> None:
+        """Analyse one function; report via :meth:`Rule.report`."""

@@ -1,0 +1,349 @@
+"""Per-function control-flow graphs over the Python AST.
+
+The CFG is statement-granular: every *simple* statement is appended, in
+order, to a :class:`BasicBlock`; compound statements contribute a header
+marker (the ``If``/``While``/``For``/``With``/``Try`` node itself) whose
+dataflow footprint is just its header expression (test, iterable, context
+managers), never its body - bodies become their own blocks and edges.
+
+Exceptional flow is over-approximated at block granularity: every block
+created inside a ``try`` body gets an edge to each handler entry (and to
+the propagation path when no handler is catch-all), so "statement B is
+reachable from statement A" includes paths through exception handlers.
+Two synthetic sinks close the graph: :attr:`CFG.exit` (normal return or
+fall-through) and :attr:`CFG.raise_exit` (uncaught exception), letting
+analyses distinguish "escapes on the normal path" from "unwinds".
+
+This is deliberately an over-approximation (analyses built on it must be
+may-analyses): ``while True`` without ``break`` still gets no exit edge,
+but a ``for`` header always may skip its body, and exception edges ignore
+handler types.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Compound statements whose header is stored as a marker statement.
+_HEADER_STMTS = (ast.If, ast.While, ast.For, ast.AsyncFor, ast.With,
+                 ast.AsyncWith, ast.Try, ast.ExceptHandler)
+
+
+class BasicBlock:
+    """A straight-line run of statements with explicit successor edges."""
+
+    __slots__ = ("bid", "kind", "stmts", "succs", "preds")
+
+    def __init__(self, bid: int, kind: str = "code"):
+        self.bid = bid
+        self.kind = kind           #: "entry" | "exit" | "raise" | "code"
+        self.stmts: List[ast.stmt] = []
+        self.succs: List["BasicBlock"] = []
+        self.preds: List["BasicBlock"] = []
+
+    def add_succ(self, other: "BasicBlock") -> None:
+        if other not in self.succs:
+            self.succs.append(other)
+            other.preds.append(self)
+
+    def __repr__(self) -> str:
+        lines = [getattr(s, "lineno", "?") for s in self.stmts]
+        return (f"<BasicBlock {self.bid} kind={self.kind} lines={lines} "
+                f"-> {[b.bid for b in self.succs]}>")
+
+
+class CFG:
+    """The control-flow graph of one function.
+
+    Attributes:
+        func: The analysed ``FunctionDef`` node.
+        blocks: Every block, in creation order (entry first).
+        entry: Synthetic entry block (holds the function's arguments
+            node as its only pseudo-definition site).
+        exit: Synthetic normal-exit sink (returns, fall-through).
+        raise_exit: Synthetic uncaught-exception sink.
+    """
+
+    def __init__(self, func: FunctionNode):
+        self.func = func
+        self.blocks: List[BasicBlock] = []
+        self.entry = self._new_block("entry")
+        self.exit = self._new_block("exit")
+        self.raise_exit = self._new_block("raise")
+        #: id(stmt) -> (block, index) for every stored statement.
+        self.positions: Dict[int, Tuple[BasicBlock, int]] = {}
+
+    def _new_block(self, kind: str = "code") -> BasicBlock:
+        block = BasicBlock(len(self.blocks), kind)
+        self.blocks.append(block)
+        return block
+
+    def statements(self) -> Iterator[Tuple[BasicBlock, int, ast.stmt]]:
+        for block in self.blocks:
+            for index, stmt in enumerate(block.stmts):
+                yield block, index, stmt
+
+    def position_of(self, stmt: ast.stmt) -> Tuple[BasicBlock, int]:
+        return self.positions[id(stmt)]
+
+    def index_positions(self) -> None:
+        self.positions.clear()
+        for block, index, stmt in self.statements():
+            self.positions[id(stmt)] = (block, index)
+
+
+class _Unreachable(Exception):
+    """Internal sentinel: the statement stream diverted (return/raise)."""
+
+
+class _CfgBuilder:
+    def __init__(self, func: FunctionNode):
+        self.cfg = CFG(func)
+        #: (continue_target, break_target) innermost-last.
+        self.loop_stack: List[Tuple[BasicBlock, BasicBlock]] = []
+        #: Per enclosing try: (handler entry blocks, catch_all?).
+        self.try_stack: List[Tuple[List[BasicBlock], bool]] = []
+
+    # -- helpers -------------------------------------------------------
+    def _new(self) -> BasicBlock:
+        return self.cfg._new_block()
+
+    def _emit(self, block: BasicBlock, stmt: ast.stmt) -> None:
+        block.stmts.append(stmt)
+
+    def _raise_targets(self) -> List[BasicBlock]:
+        """Where control may go when a statement raises."""
+        targets: List[BasicBlock] = []
+        for handlers, catch_all in reversed(self.try_stack):
+            targets.extend(handlers)
+            if catch_all:
+                return targets
+        targets.append(self.cfg.raise_exit)
+        return targets
+
+    # -- statement sequence --------------------------------------------
+    def seq(self, stmts: List[ast.stmt],
+            current: BasicBlock) -> Optional[BasicBlock]:
+        """Thread ``stmts`` through the graph; return the open end block
+        (None when every path diverted via return/raise/break)."""
+        for stmt in stmts:
+            if current is None:
+                # Dead code after a diverting statement: park it in an
+                # unreachable block so dataflow still sees its text.
+                current = self._new()
+            current = self.stmt(stmt, current)
+        return current
+
+    def stmt(self, stmt: ast.stmt,
+             current: BasicBlock) -> Optional[BasicBlock]:
+        if isinstance(stmt, ast.Return):
+            self._emit(current, stmt)
+            current.add_succ(self.cfg.exit)
+            return None
+        if isinstance(stmt, ast.Raise):
+            self._emit(current, stmt)
+            for target in self._raise_targets():
+                current.add_succ(target)
+            return None
+        if isinstance(stmt, ast.Break):
+            self._emit(current, stmt)
+            if self.loop_stack:
+                current.add_succ(self.loop_stack[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            self._emit(current, stmt)
+            if self.loop_stack:
+                current.add_succ(self.loop_stack[-1][0])
+            return None
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, current)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt, current)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._emit(current, stmt)  # header marker: context exprs
+            return self.seq(stmt.body, current)
+        # Simple statement (incl. nested FunctionDef/ClassDef, which are
+        # *not* descended into - a nested def is one closure-creating
+        # statement from this function's point of view).
+        self._emit(current, stmt)
+        return current
+
+    # -- compound statements -------------------------------------------
+    def _if(self, stmt: ast.If,
+            current: BasicBlock) -> Optional[BasicBlock]:
+        self._emit(current, stmt)  # header marker: the test expression
+        then_block = self._new()
+        current.add_succ(then_block)
+        then_end = self.seq(stmt.body, then_block)
+        if stmt.orelse:
+            else_block = self._new()
+            current.add_succ(else_block)
+            else_end = self.seq(stmt.orelse, else_block)
+        else:
+            else_end = current
+        if then_end is None and else_end is None:
+            return None
+        join = self._new()
+        if then_end is not None:
+            then_end.add_succ(join)
+        if else_end is not None:
+            else_end.add_succ(join)
+        return join
+
+    @staticmethod
+    def _is_const_true(test: ast.expr) -> bool:
+        return isinstance(test, ast.Constant) and bool(test.value) is True
+
+    def _while(self, stmt: ast.While,
+               current: BasicBlock) -> Optional[BasicBlock]:
+        cond = self._new()
+        current.add_succ(cond)
+        self._emit(cond, stmt)  # header marker: the test expression
+        body = self._new()
+        cond.add_succ(body)
+        after = self._new()
+        if not self._is_const_true(stmt.test):
+            if stmt.orelse:
+                else_block = self._new()
+                cond.add_succ(else_block)
+                else_end = self.seq(stmt.orelse, else_block)
+                if else_end is not None:
+                    else_end.add_succ(after)
+            else:
+                cond.add_succ(after)
+        self.loop_stack.append((cond, after))
+        body_end = self.seq(stmt.body, body)
+        self.loop_stack.pop()
+        if body_end is not None:
+            body_end.add_succ(cond)
+        return after if (after.preds or self._has_break(stmt)) else None
+
+    def _for(self, stmt: Union[ast.For, ast.AsyncFor],
+             current: BasicBlock) -> Optional[BasicBlock]:
+        header = self._new()
+        current.add_succ(header)
+        self._emit(header, stmt)  # header marker: target defs, iter uses
+        body = self._new()
+        header.add_succ(body)
+        after = self._new()
+        if stmt.orelse:
+            else_block = self._new()
+            header.add_succ(else_block)
+            else_end = self.seq(stmt.orelse, else_block)
+            if else_end is not None:
+                else_end.add_succ(after)
+        else:
+            header.add_succ(after)
+        self.loop_stack.append((header, after))
+        body_end = self.seq(stmt.body, body)
+        self.loop_stack.pop()
+        if body_end is not None:
+            body_end.add_succ(header)
+        return after
+
+    @staticmethod
+    def _has_break(loop: Union[ast.While, ast.For, ast.AsyncFor]) -> bool:
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Break):
+                return True
+        return False
+
+    def _try(self, stmt: ast.Try,
+             current: BasicBlock) -> Optional[BasicBlock]:
+        body_start = self._new()
+        current.add_succ(body_start)
+        handler_entries: List[BasicBlock] = []
+        catch_all = False
+        for handler in stmt.handlers:
+            entry = self._new()
+            self._emit(entry, handler)  # marker: binds handler.name
+            handler_entries.append(entry)
+            if handler.type is None:
+                catch_all = True
+            elif (isinstance(handler.type, ast.Name)
+                    and handler.type.id == "BaseException"):
+                catch_all = True
+
+        first_body_block = len(self.cfg.blocks)
+        if stmt.handlers:
+            self.try_stack.append((handler_entries, catch_all))
+        body_end = self.seq(stmt.body, body_start)
+        if stmt.handlers:
+            self.try_stack.pop()
+
+        # Exceptional edges: any block born inside the try body (plus the
+        # body's start block) may divert to each handler; without a
+        # catch-all handler the exception may also propagate outward.
+        body_blocks = [body_start] + self.cfg.blocks[first_body_block:]
+        propagate = None
+        if not catch_all:
+            propagate = (self._raise_targets())
+        for block in body_blocks:
+            for entry in handler_entries:
+                block.add_succ(entry)
+            if propagate is not None and stmt.handlers:
+                for target in propagate:
+                    block.add_succ(target)
+            if not stmt.handlers:
+                # try/finally with no handlers: exceptions propagate.
+                for target in self._raise_targets():
+                    block.add_succ(target)
+
+        if stmt.orelse and body_end is not None:
+            body_end = self.seq(stmt.orelse, body_end)
+
+        ends: List[BasicBlock] = []
+        if body_end is not None:
+            ends.append(body_end)
+        for entry, handler in zip(handler_entries, stmt.handlers):
+            handler_end = self.seq(handler.body, entry)
+            if handler_end is not None:
+                ends.append(handler_end)
+
+        if stmt.finalbody:
+            final_block = self._new()
+            for end in ends:
+                end.add_succ(final_block)
+            # The finally body also runs on the exceptional path; model
+            # that re-raise with an edge to the propagation targets.
+            final_end = self.seq(stmt.finalbody, final_block)
+            if final_end is None:
+                return None
+            for target in self._raise_targets():
+                final_end.add_succ(target)
+            return final_end
+        if not ends:
+            return None
+        join = self._new()
+        for end in ends:
+            end.add_succ(join)
+        return join
+
+
+def build_cfg(func: FunctionNode) -> CFG:
+    """Construct the CFG of one (non-nested) function body."""
+    builder = _CfgBuilder(func)
+    entry = builder.cfg.entry
+    first = builder.cfg._new_block()
+    entry.add_succ(first)
+    end = builder.seq(func.body, first)
+    if end is not None:
+        end.add_succ(builder.cfg.exit)
+    builder.cfg.index_positions()
+    return builder.cfg
+
+
+def function_cfgs(tree: ast.AST) -> Iterator[Tuple[FunctionNode, CFG]]:
+    """Yield ``(function, cfg)`` for every def in a module, methods
+    included.  Nested defs get their own CFG *and* appear as a single
+    closure-creating statement in their parent's CFG."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, build_cfg(node)

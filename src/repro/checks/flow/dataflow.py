@@ -1,0 +1,332 @@
+"""Intraprocedural dataflow over :mod:`repro.checks.flow.cfg` graphs.
+
+Implements the two classic bit-vector problems the flow rules need -
+forward reaching definitions and backward liveness - plus the path
+primitives (block reachability, "exists a path avoiding these
+statements") that make the FTL protocol rules *path*-sensitive instead of
+merely syntactic.
+
+Definition/use extraction understands the CFG's header-marker convention:
+a stored ``If``/``While`` contributes only its test, a ``For`` defines its
+targets and uses its iterable, a ``With`` defines its ``as`` names, an
+``ExceptHandler`` its bound name.  Attribute and subscript stores define
+no local name (they mutate an object, which reaching definitions does not
+track); their index/value expressions still count as uses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .cfg import CFG, BasicBlock
+
+#: A definition site: (variable name, unique statement id).
+DefSite = Tuple[str, int]
+
+
+# ----------------------------------------------------------------------
+# Per-statement defs and uses
+# ----------------------------------------------------------------------
+def _target_names(target: ast.expr) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)):
+            names.add(node.id)
+    return names
+
+
+def _load_names(node: Optional[ast.AST]) -> Set[str]:
+    if node is None:
+        return set()
+    names: Set[str] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+            names.add(sub.id)
+    return names
+
+
+def stmt_defs(stmt: ast.stmt) -> Set[str]:
+    """Local names (re)bound by one stored statement."""
+    if isinstance(stmt, ast.Assign):
+        names: Set[str] = set()
+        for target in stmt.targets:
+            names |= _target_names(target)
+        return names
+    if isinstance(stmt, ast.AugAssign):
+        return _target_names(stmt.target)
+    if isinstance(stmt, ast.AnnAssign):
+        return _target_names(stmt.target)
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return _target_names(stmt.target)
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        names = set()
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                names |= _target_names(item.optional_vars)
+        return names
+    if isinstance(stmt, ast.ExceptHandler):
+        return {stmt.name} if stmt.name else set()
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.ClassDef)):
+        return {stmt.name}
+    if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+        names = set()
+        for alias in stmt.names:
+            names.add((alias.asname or alias.name).split(".")[0])
+        return names
+    if isinstance(stmt, ast.Delete):
+        names = set()
+        for target in stmt.targets:
+            names |= _target_names(target)
+        return names
+    if isinstance(stmt, ast.arguments):  # entry pseudo-statement
+        args = list(stmt.posonlyargs) + list(stmt.args) + list(
+            stmt.kwonlyargs)
+        if stmt.vararg:
+            args.append(stmt.vararg)
+        if stmt.kwarg:
+            args.append(stmt.kwarg)
+        return {a.arg for a in args}
+    return set()
+
+
+def stmt_uses(stmt: ast.stmt) -> Set[str]:
+    """Local names read by one stored statement (header markers read
+    only their header expressions, never their bodies)."""
+    if isinstance(stmt, (ast.If, ast.While)):
+        return _load_names(stmt.test)
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return _load_names(stmt.iter)
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        names: Set[str] = set()
+        for item in stmt.items:
+            names |= _load_names(item.context_expr)
+        return names
+    if isinstance(stmt, ast.Try):
+        return set()
+    if isinstance(stmt, ast.ExceptHandler):
+        return _load_names(stmt.type)
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        names = set()
+        for dec in stmt.decorator_list:
+            names |= _load_names(dec)
+        for default in (stmt.args.defaults + stmt.args.kw_defaults):
+            names |= _load_names(default)
+        return names
+    if isinstance(stmt, ast.arguments):
+        return set()
+    return _load_names(stmt)
+
+
+# ----------------------------------------------------------------------
+# Reaching definitions (forward, may)
+# ----------------------------------------------------------------------
+class ReachingDefs:
+    """Reaching definitions; query with :meth:`at`.
+
+    Definition sites are numbered by statement order; ``site -1`` is the
+    synthetic entry definition of each function parameter.
+    """
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        #: site id -> defining statement (or None for parameters).
+        self.site_stmt: Dict[int, Optional[ast.stmt]] = {-1: None}
+        self._block_in: Dict[int, Set[DefSite]] = {}
+        self._gen_kill: Dict[int, Tuple[Set[DefSite], Set[str]]] = {}
+        self._site_ids: Dict[int, int] = {}
+        self._solve()
+
+    def _sites_of(self, stmt: ast.stmt, counter: List[int]
+                  ) -> Set[DefSite]:
+        sid = self._site_ids.get(id(stmt))
+        if sid is None:
+            sid = counter[0]
+            counter[0] += 1
+            self._site_ids[id(stmt)] = sid
+            self.site_stmt[sid] = stmt
+        return {(name, sid) for name in stmt_defs(stmt)}
+
+    def _solve(self) -> None:
+        cfg = self.cfg
+        counter = [0]
+        entry_defs: Set[DefSite] = {
+            (name, -1) for name in stmt_defs(cfg.func.args)
+        }
+        for block in cfg.blocks:
+            gen: Dict[str, DefSite] = {}
+            kill: Set[str] = set()
+            for stmt in block.stmts:
+                for name, sid in self._sites_of(stmt, counter):
+                    gen[name] = (name, sid)
+                    kill.add(name)
+            self._gen_kill[block.bid] = (set(gen.values()), kill)
+        in_sets: Dict[int, Set[DefSite]] = {
+            b.bid: set() for b in cfg.blocks
+        }
+        in_sets[cfg.entry.bid] = set(entry_defs)
+        changed = True
+        while changed:
+            changed = False
+            for block in cfg.blocks:
+                if block is cfg.entry:
+                    in_set = set(entry_defs)
+                else:
+                    in_set = set()
+                    for pred in block.preds:
+                        in_set |= self._out_of(pred, in_sets)
+                if in_set != in_sets[block.bid]:
+                    in_sets[block.bid] = in_set
+                    changed = True
+        self._block_in = in_sets
+
+    def _out_of(self, block: BasicBlock,
+                in_sets: Dict[int, Set[DefSite]]) -> Set[DefSite]:
+        gen, kill = self._gen_kill[block.bid]
+        survived = {d for d in in_sets[block.bid] if d[0] not in kill}
+        return survived | gen
+
+    def at(self, block: BasicBlock, index: int) -> Dict[str, Set[int]]:
+        """name -> def-site ids reaching just *before* stmts[index]."""
+        live: Dict[str, Set[int]] = {}
+        for name, sid in self._block_in[block.bid]:
+            live.setdefault(name, set()).add(sid)
+        for stmt in block.stmts[:index]:
+            defined = stmt_defs(stmt)
+            for name in defined:
+                live[name] = {self._site_ids[id(stmt)]}
+        return live
+
+    def defs_of(self, block: BasicBlock, index: int,
+                name: str) -> List[Optional[ast.stmt]]:
+        """The statements whose definition of ``name`` may reach
+        ``stmts[index]`` (None entries = the parameter binding)."""
+        sites = self.at(block, index).get(name, set())
+        return [self.site_stmt[s] for s in sorted(sites)]
+
+
+def reaching_definitions(cfg: CFG) -> ReachingDefs:
+    return ReachingDefs(cfg)
+
+
+# ----------------------------------------------------------------------
+# Liveness (backward, may)
+# ----------------------------------------------------------------------
+class LivenessResult:
+    def __init__(self, live_in: Dict[int, Set[str]],
+                 live_out: Dict[int, Set[str]]):
+        self.live_in = live_in
+        self.live_out = live_out
+
+    def live_into(self, block: BasicBlock) -> Set[str]:
+        return self.live_in[block.bid]
+
+    def live_out_of(self, block: BasicBlock) -> Set[str]:
+        return self.live_out[block.bid]
+
+
+def liveness(cfg: CFG) -> LivenessResult:
+    use_def: Dict[int, Tuple[Set[str], Set[str]]] = {}
+    for block in cfg.blocks:
+        uses: Set[str] = set()
+        defs: Set[str] = set()
+        for stmt in block.stmts:
+            uses |= (stmt_uses(stmt) - defs)
+            defs |= stmt_defs(stmt)
+        use_def[block.bid] = (uses, defs)
+    live_in: Dict[int, Set[str]] = {b.bid: set() for b in cfg.blocks}
+    live_out: Dict[int, Set[str]] = {b.bid: set() for b in cfg.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(cfg.blocks):
+            out: Set[str] = set()
+            for succ in block.succs:
+                out |= live_in[succ.bid]
+            uses, defs = use_def[block.bid]
+            new_in = uses | (out - defs)
+            if out != live_out[block.bid] or new_in != live_in[block.bid]:
+                live_out[block.bid] = out
+                live_in[block.bid] = new_in
+                changed = True
+    return LivenessResult(live_in, live_out)
+
+
+# ----------------------------------------------------------------------
+# Path primitives
+# ----------------------------------------------------------------------
+def reachable_blocks(start: BasicBlock) -> FrozenSet[int]:
+    """Block ids reachable from ``start`` (inclusive)."""
+    seen: Set[int] = set()
+    stack = [start]
+    while stack:
+        block = stack.pop()
+        if block.bid in seen:
+            continue
+        seen.add(block.bid)
+        stack.extend(block.succs)
+    return frozenset(seen)
+
+
+def exists_path_avoiding(
+    cfg: CFG,
+    start: ast.stmt,
+    goal: BasicBlock,
+    avoid: Iterable[ast.stmt],
+) -> bool:
+    """True when some path from just *after* ``start`` can reach the
+    ``goal`` block without executing any statement in ``avoid``.
+
+    This is the workhorse of the protocol rules: "can the allocated PPN
+    reach the function exit without passing a program_page call?" is
+    ``exists_path_avoiding(cfg, alloc_stmt, cfg.exit, program_stmts)``.
+    """
+    avoid_ids = {id(s) for s in avoid}
+    start_block, start_index = cfg.position_of(start)
+
+    def block_open(block: BasicBlock, from_index: int) -> bool:
+        """Scan stmts from ``from_index``; False when an avoid statement
+        blocks the way out of this block."""
+        for stmt in block.stmts[from_index:]:
+            if id(stmt) in avoid_ids:
+                return False
+        return True
+
+    def exceptional(succ: BasicBlock) -> bool:
+        """Handler entries and the raise sink: a raise may divert to
+        them from *any* statement of the block, so they are reachable
+        even when an avoid statement sits later in the block."""
+        if succ.kind == "raise":
+            return True
+        return bool(succ.stmts) and isinstance(succ.stmts[0],
+                                               ast.ExceptHandler)
+
+    seen: Set[int] = set()
+    stack: List[Tuple[BasicBlock, int]] = [(start_block, start_index + 1)]
+    first = True
+    while stack:
+        block, from_index = stack.pop()
+        if not first and block.bid in seen:
+            continue
+        if not first:
+            seen.add(block.bid)
+        first = False
+        for succ in block.succs:
+            if not exceptional(succ):
+                continue
+            if succ is goal:
+                return True
+            if succ.bid not in seen:
+                stack.append((succ, 0))
+        if not block_open(block, from_index):
+            continue
+        if block is goal:
+            return True
+        for succ in block.succs:
+            if succ is goal:
+                return True
+            if succ.bid not in seen:
+                stack.append((succ, 0))
+    return False

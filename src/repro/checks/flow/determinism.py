@@ -1,0 +1,238 @@
+"""FTL012: no iteration over unordered sets where order can leak out.
+
+The golden-stats gate and the crash-consistency checker both assume the
+simulator is bit-deterministic: the same trace replays to the same stats
+on every run and every Python build.  ``set`` iteration order is a hash-
+table artefact - stable enough for ints within one process to be a trap,
+and gone the moment a key type or interpreter changes.  This rule flags
+expressions that *iterate* a value statically known to be a set:
+
+* ``for x in s`` / comprehension generators,
+* ordering-sensitive consumers: ``list()``, ``tuple()``, ``iter()``,
+  ``enumerate()``, ``next()``, ``zip()``, ``reversed()``.
+
+Set-ness is established by dataflow, not just syntax: a local variable
+counts when *every* reaching definition is set-typed (literal, ``set``/
+``frozenset()`` call, set comprehension, set algebra on a set), and a
+``self`` attribute counts when every assignment to it anywhere in the
+class is set-typed.  Membership tests and order-insensitive reductions
+(``sorted``/``min``/``max``/``sum``/``len``/``any``/``all``/``set``/
+``frozenset``) are exempt by design.
+
+Iteration that provably cannot reach stats, traces or victim selection
+(for example element-wise clears) opts out per line with
+``# ftlint: disable=FTL012`` and a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from .base import FlowRule, FunctionAnalysis
+from .dataflow import stmt_defs
+from .summaries import ModuleSummaries, call_name_chain
+
+#: Consumers whose result does not depend on iteration order.
+_ORDER_FREE = frozenset({
+    "sorted", "min", "max", "sum", "len", "any", "all", "set",
+    "frozenset", "bool",
+})
+
+#: Consumers that expose iteration order.
+_ORDER_SENSITIVE = frozenset({
+    "list", "tuple", "iter", "enumerate", "next", "zip", "reversed",
+})
+
+_SET_ALGEBRA_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference",
+    "copy",
+})
+
+
+class _SetTyping:
+    """Syntactic set-typedness of expressions, locals and self attrs."""
+
+    def __init__(self, attr_sets: Set[str],
+                 analysis: Optional[FunctionAnalysis]):
+        self.attr_sets = attr_sets
+        self.analysis = analysis
+
+    def expr_is_set(self, node: ast.expr,
+                    local_sets: Set[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            chain = call_name_chain(node.func)
+            if chain and chain[-1] in ("set", "frozenset"):
+                return True
+            if chain and chain[-1] in _SET_ALGEBRA_METHODS \
+                    and isinstance(node.func, ast.Attribute) \
+                    and self.expr_is_set(node.func.value, local_sets):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            return (self.expr_is_set(node.left, local_sets)
+                    or self.expr_is_set(node.right, local_sets))
+        if isinstance(node, ast.Name):
+            return node.id in local_sets
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "self":
+            return node.attr in self.attr_sets
+        return False
+
+
+def class_set_attrs(tree: ast.Module) -> Dict[str, Set[str]]:
+    """For each class: ``self`` attributes whose every assignment in the
+    class body is set-typed (``self._members = set()`` anywhere, and no
+    conflicting non-set assignment)."""
+    result: Dict[str, Set[str]] = {}
+    empty_typing = _SetTyping(set(), None)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        set_assigned: Set[str] = set()
+        other_assigned: Set[str] = set()
+        for sub in ast.walk(node):
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(sub, ast.Assign):
+                targets, value = sub.targets, sub.value
+            elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+                targets, value = [sub.target], sub.value
+            for target in targets:
+                if isinstance(target, ast.Attribute) \
+                        and isinstance(target.value, ast.Name) \
+                        and target.value.id == "self":
+                    if value is not None and empty_typing.expr_is_set(
+                            value, set()):
+                        set_assigned.add(target.attr)
+                    else:
+                        other_assigned.add(target.attr)
+        result[node.name] = set_assigned - other_assigned
+    return result
+
+
+class SetIterationRule(FlowRule):
+    RULE_ID = "FTL012"
+    MESSAGE = ("iteration over an unordered set can leak hash order "
+               "into stats/traces/victim selection; sort or justify")
+    SCOPES = frozenset({"core", "ftl", "sim"})
+
+    def run(self, tree: ast.AST) -> List:
+        if isinstance(tree, ast.Module):
+            self._attr_sets_by_class = class_set_attrs(tree)
+            self._class_of_func: Dict[int, str] = {}
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ClassDef):
+                    for item in node.body:
+                        if isinstance(item, (ast.FunctionDef,
+                                             ast.AsyncFunctionDef)):
+                            self._class_of_func[id(item)] = node.name
+        return super().run(tree)
+
+    def check_function(self, analysis: FunctionAnalysis,
+                       summaries: ModuleSummaries,
+                       tree: ast.Module) -> None:
+        cls = self._class_of_func.get(id(analysis.func))
+        attr_sets = self._attr_sets_by_class.get(cls, set()) if cls \
+            else set()
+        typing = _SetTyping(attr_sets, analysis)
+        local_sets = self._set_typed_locals(analysis, typing)
+
+        func = analysis.func
+        for node in ast.walk(func):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node is not func:
+                continue  # nested defs are analysed on their own
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if typing.expr_is_set(node.iter, local_sets) \
+                        or self._iter_name_is_set_by_reaching_defs(
+                            analysis, typing, local_sets, node):
+                    self.report(
+                        node,
+                        "for-loop iterates a set; iteration order is a "
+                        "hash artefact - use sorted(...) or justify "
+                        "order-insensitivity with a disable",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.DictComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    if typing.expr_is_set(gen.iter, local_sets):
+                        self.report(
+                            node,
+                            "comprehension iterates a set; wrap the "
+                            "iterable in sorted(...) to pin the order",
+                        )
+            elif isinstance(node, ast.Call):
+                chain = call_name_chain(node.func)
+                if chain and chain[-1] in _ORDER_SENSITIVE and node.args:
+                    if typing.expr_is_set(node.args[0], local_sets):
+                        self.report(
+                            node,
+                            f"{chain[-1]}(...) materialises a set's hash "
+                            "order; use sorted(...) instead",
+                        )
+
+    @staticmethod
+    def _iter_name_is_set_by_reaching_defs(
+        analysis: FunctionAnalysis, typing: "_SetTyping",
+        local_sets: Set[str], loop: ast.stmt,
+    ) -> bool:
+        """Precise check for ``for x in s``: every definition of ``s``
+        *reaching this loop header* is set-typed.  Catches variables the
+        coarse all-assignments pass rejects because a different, non-set
+        binding exists on an unrelated path."""
+        node_iter = loop.iter  # type: ignore[attr-defined]
+        if not isinstance(node_iter, ast.Name):
+            return False
+        try:
+            block, index = analysis.cfg.position_of(loop)
+        except KeyError:
+            return False
+        defs = analysis.reaching.defs_of(block, index, node_iter.id)
+        if not defs:
+            return False
+        for def_stmt in defs:
+            if def_stmt is None:
+                return False  # bound as a parameter: type unknown
+            if not (isinstance(def_stmt, ast.Assign)
+                    and typing.expr_is_set(def_stmt.value, local_sets)):
+                return False
+        return True
+
+    @staticmethod
+    def _set_typed_locals(analysis: FunctionAnalysis,
+                          typing: _SetTyping) -> Set[str]:
+        """Locals whose every assignment in the function is set-typed
+        (single-pass approximation of the reaching-defs condition: a
+        variable that is *ever* rebound to a non-set stops counting)."""
+        set_named: Set[str] = set()
+        other_named: Set[str] = set()
+        func = analysis.func
+        for node in ast.walk(func):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node is not func:
+                continue
+            targets: List[ast.expr] = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                targets, value = [node.target], None
+            elif isinstance(node, ast.AugAssign):
+                targets, value = [node.target], None
+            for target in targets:
+                for name_node in ast.walk(target):
+                    if isinstance(name_node, ast.Name):
+                        # Grow iteratively: `s = set(); t = s` counts.
+                        if value is not None and typing.expr_is_set(
+                                value, set_named):
+                            set_named.add(name_node.id)
+                        else:
+                            other_named.add(name_node.id)
+        return set_named - other_named

@@ -1,0 +1,139 @@
+"""FTL011: no torn mapping state behind a swallowing except handler.
+
+The runtime sanitizer (flashsan) can detect torn mapping state only when
+it happens in a run; this rule rejects the *shape* statically.  Inside a
+``try`` whose handler swallows the exception (no re-raise anywhere in the
+handler body), a mapping-state write (UMT/GTD/CMT/MapTable method call or
+subscript store on a map-ish attribute) followed on some path - still
+inside the try body - by a statement that may raise leaves the mapping
+half-updated when that later statement throws: the handler swallows, the
+caller continues, and the torn state survives into steady state where
+only flashsan's full audit would catch it.
+
+``try/finally`` without handlers is exempt (nothing is swallowed), as are
+handlers that re-raise.  May-raise is conservative: any call not on the
+small known-safe list (:data:`repro.checks.flow.summaries.SAFE_CALLS`).
+Intentional compensation logic opts out per line with
+``# ftlint: disable=FTL011`` and a reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from .base import FlowRule, FunctionAnalysis
+from .summaries import (
+    ModuleSummaries,
+    ProtocolEvent,
+    classify_call,
+    is_map_subscript_store,
+    stmt_may_raise,
+)
+
+
+def _handler_swallows(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body contains no re-raise."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return False
+    return True
+
+
+def _body_statements(body: List[ast.stmt]) -> List[ast.stmt]:
+    """Statements of a try body, including nested compound bodies (a
+    mapping write inside an ``if`` inside the try is still in the try)."""
+    out: List[ast.stmt] = []
+    stack = list(body)
+    while stack:
+        stmt = stack.pop(0)
+        out.append(stmt)
+        for field in ("body", "orelse", "finalbody"):
+            stack.extend(getattr(stmt, field, []) or [])
+        for handler in getattr(stmt, "handlers", []) or []:
+            stack.extend(handler.body)
+    return out
+
+
+class TornMappingStateRule(FlowRule):
+    RULE_ID = "FTL011"
+    MESSAGE = ("mapping-state write followed by a may-raise statement "
+               "inside a swallowing except leaves torn state")
+    SCOPES = frozenset({"core", "ftl"})
+
+    def check_function(self, analysis: FunctionAnalysis,
+                       summaries: ModuleSummaries,
+                       tree: ast.Module) -> None:
+        aliases = analysis.aliases
+        for node in ast.walk(analysis.func):
+            if not isinstance(node, ast.Try) or not node.handlers:
+                continue
+            swallowing = [h for h in node.handlers if _handler_swallows(h)]
+            if not swallowing:
+                continue
+            body = _body_statements(node.body)
+            body_ids = {id(s) for s in body}
+            writes = [
+                s for s in body
+                if id(s) in body_ids and self._is_map_write(s, aliases)
+            ]
+            if not writes:
+                continue
+            raisers = [
+                s for s in body
+                if stmt_may_raise(s) and not isinstance(s, ast.Raise)
+            ]
+            for write in writes:
+                for raiser in raisers:
+                    if raiser is write:
+                        continue
+                    if self._follows_in_body(analysis, write, raiser):
+                        handler = swallowing[0]
+                        self.report(
+                            write,
+                            "mapping state written here may be followed "
+                            "by an exception at line "
+                            f"{getattr(raiser, 'lineno', '?')} that the "
+                            "handler at line "
+                            f"{getattr(handler, 'lineno', '?')} swallows"
+                            " - torn mapping state survives the except",
+                        )
+                        break
+
+    @staticmethod
+    def _is_map_write(stmt: ast.stmt,
+                      aliases: Dict[str, Tuple[str, ...]]) -> bool:
+        if is_map_subscript_store(stmt, aliases):
+            return True
+        from .summaries import _header_exprs
+        for root in _header_exprs(stmt):
+            for node in ast.walk(root):
+                if isinstance(node, ast.Call) and (
+                        classify_call(node, aliases)
+                        & ProtocolEvent.MAP_WRITE):
+                    return True
+        return False
+
+    @staticmethod
+    def _follows_in_body(analysis: FunctionAnalysis, first: ast.stmt,
+                         second: ast.stmt) -> bool:
+        """May ``second`` execute after ``first`` (same try body)?"""
+        cfg = analysis.cfg
+        try:
+            block_a, index_a = cfg.position_of(first)
+            block_b, index_b = cfg.position_of(second)
+        except KeyError:
+            return False
+        if block_a is block_b:
+            return index_a < index_b
+        seen: Set[int] = set()
+        stack = list(block_a.succs)
+        while stack:
+            block = stack.pop()
+            if block.bid in seen:
+                continue
+            seen.add(block.bid)
+            if block is block_b:
+                return True
+            stack.extend(block.succs)
+        return False

@@ -20,10 +20,14 @@ from .excepts import ExceptHygieneRule
 from .maptypes import DictMapRule
 from .randomness import UnseededRandomRule
 from .replayattrs import ReplayAttrRule
+from .setrebuild import SetRebuildRule
 from .spans import SpanBalanceRule
 from .wallclock import WallClockRule
+from ..flow import FLOW_RULES
 
-#: All registered rules, in report order.
+#: All registered rules, in report order.  FTL001-FTL009 are single-node
+#: AST rules; FTL010+ come from repro.checks.flow and reason over
+#: per-function CFGs (see that package's docs).
 ALL_RULES: Sequence[Type[Rule]] = (
     WallClockRule,
     UnseededRandomRule,
@@ -33,7 +37,11 @@ ALL_RULES: Sequence[Type[Rule]] = (
     MutableDefaultRule,
     DictMapRule,
     ReplayAttrRule,
-)
+    SetRebuildRule,
+) + tuple(FLOW_RULES)
+
+#: Rules that require control-flow analysis (the ``flowlint`` stage).
+FLOW_RULE_IDS = frozenset(rule.RULE_ID for rule in FLOW_RULES)
 
 
 def scope_of(path: str) -> Optional[str]:
@@ -88,18 +96,54 @@ def lint_source(
     return violations
 
 
-def lint_file(path: Path) -> List[LintViolation]:
-    return lint_source(path.read_text(encoding="utf-8"), path=str(path))
+def lint_file(
+    path: Path,
+    rules: Optional[Iterable[Type[Rule]]] = None,
+) -> List[LintViolation]:
+    return lint_source(path.read_text(encoding="utf-8"), path=str(path),
+                       rules=rules)
 
 
-def lint_paths(paths: Iterable[str]) -> List[LintViolation]:
+def lint_paths(
+    paths: Iterable[str],
+    rules: Optional[Iterable[Type[Rule]]] = None,
+) -> List[LintViolation]:
     """Lint files and/or directory trees (``*.py``, recursively)."""
+    rule_list = None if rules is None else list(rules)
     violations: List[LintViolation] = []
     for raw in paths:
         p = Path(raw)
         if p.is_dir():
             for f in sorted(p.rglob("*.py")):
-                violations.extend(lint_file(f))
+                violations.extend(lint_file(f, rules=rule_list))
         else:
-            violations.extend(lint_file(p))
+            violations.extend(lint_file(p, rules=rule_list))
     return violations
+
+
+def select_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Type[Rule]]:
+    """Resolve ``--select``/``--ignore`` rule-id lists to rule classes.
+
+    ``select`` keeps only the named rules; ``ignore`` then drops its
+    names from whatever survived.  Unknown ids raise ``ValueError`` so
+    CLI typos fail loudly instead of silently linting nothing.
+    """
+    known = {rule.RULE_ID: rule for rule in ALL_RULES}
+    chosen: List[Type[Rule]] = list(ALL_RULES)
+    for label, ids in (("--select", select), ("--ignore", ignore)):
+        if ids is None:
+            continue
+        unknown = sorted(set(ids) - set(known))
+        if unknown:
+            raise ValueError(
+                f"{label}: unknown rule id(s): {', '.join(unknown)}")
+    if select is not None:
+        wanted = set(select)
+        chosen = [rule for rule in chosen if rule.RULE_ID in wanted]
+    if ignore is not None:
+        dropped = set(ignore)
+        chosen = [rule for rule in chosen if rule.RULE_ID not in dropped]
+    return chosen

@@ -9,13 +9,14 @@ name the specific flash error they recover from or re-raise.
 from __future__ import annotations
 
 import ast
+from typing import List, Optional
 
 from .base import Rule
 
 _BROAD = frozenset({"Exception", "BaseException"})
 
 
-def _contains_raise(body: list) -> bool:
+def _contains_raise(body: List[ast.stmt]) -> bool:
     stack = list(body)
     while stack:
         node = stack.pop()
@@ -28,7 +29,7 @@ def _contains_raise(body: list) -> bool:
     return False
 
 
-def _names_broad(expr) -> bool:
+def _names_broad(expr: Optional[ast.expr]) -> bool:
     if expr is None:
         return True  # bare except
     if isinstance(expr, ast.Name):

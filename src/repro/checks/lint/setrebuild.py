@@ -1,0 +1,111 @@
+"""FTL009: membership sets must not be rebuilt per iteration.
+
+``[b for b in blocks if b not in set(scanned)]`` rebuilds ``set(scanned)``
+for *every* candidate ``b`` - the comprehension condition is evaluated per
+element, so the "optimisation" of converting to a set for O(1) membership
+turns into an O(n*m) scan plus n set constructions.  The same trap exists
+for a ``set(...)`` constructed inside a loop body purely to answer a
+membership test.  Hoist the construction: ``scanned = frozenset(scanned)``
+once, then test against the prebuilt set.
+
+The rule flags ``set(X)``/``frozenset(X)`` calls used as the right-hand
+side of an ``in``/``not in`` test when they appear inside a comprehension
+condition or a loop body and ``X`` does not depend on the iteration
+variable (i.e. the set is loop-invariant and should be hoisted).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from .base import Rule
+
+
+def _load_names(node: ast.AST) -> Set[str]:
+    return {
+        sub.id for sub in ast.walk(node)
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load)
+    }
+
+
+def _bound_names(target: ast.expr) -> Set[str]:
+    return {
+        sub.id for sub in ast.walk(target)
+        if isinstance(sub, ast.Name)
+    }
+
+
+class SetRebuildRule(Rule):
+    RULE_ID = "FTL009"
+    MESSAGE = ("membership set rebuilt per iteration; hoist the "
+               "set()/frozenset() out of the comprehension/loop")
+    SCOPES = frozenset({"core", "ftl", "sim", "flash"})
+
+    def _flag_membership_sets(self, condition: ast.expr,
+                              loop_vars: Set[str]) -> None:
+        for node in ast.walk(condition):
+            if not (isinstance(node, ast.Compare)
+                    and any(isinstance(op, (ast.In, ast.NotIn))
+                            for op in node.ops)):
+                continue
+            for comparator in node.comparators:
+                if not (isinstance(comparator, ast.Call)
+                        and isinstance(comparator.func, ast.Name)
+                        and comparator.func.id in ("set", "frozenset")):
+                    continue
+                arg_names: Set[str] = set()
+                for arg in comparator.args:
+                    arg_names |= _load_names(arg)
+                if arg_names & loop_vars:
+                    continue  # depends on the loop variable: not hoistable
+                self.report(
+                    comparator,
+                    f"{comparator.func.id}(...) rebuilt for every "
+                    "membership test; build it once before the "
+                    "comprehension/loop (frozenset) and test against "
+                    "that",
+                )
+
+    # -- comprehensions ------------------------------------------------
+    def _visit_comp(self, node: ast.AST) -> None:
+        loop_vars: Set[str] = set()
+        for gen in node.generators:
+            loop_vars |= _bound_names(gen.target)
+        for gen in node.generators:
+            for condition in gen.ifs:
+                self._flag_membership_sets(condition, loop_vars)
+        # The element expression is also evaluated per iteration.
+        for elt_field in ("elt", "key", "value"):
+            elt = getattr(node, elt_field, None)
+            if elt is not None:
+                self._flag_membership_sets(elt, loop_vars)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+    # -- explicit loops ------------------------------------------------
+    def _visit_loop(self, node: ast.AST) -> None:
+        loop_vars: Set[str] = set()
+        target = getattr(node, "target", None)
+        if target is not None:
+            loop_vars = _bound_names(target)
+        stack: List[ast.AST] = list(node.body)
+        while stack:
+            sub = stack.pop()
+            if isinstance(sub, (ast.For, ast.AsyncFor, ast.While,
+                                ast.ListComp, ast.SetComp, ast.DictComp,
+                                ast.GeneratorExp)):
+                continue  # nested loops/comps get their own visit
+            if isinstance(sub, ast.Compare):
+                self._flag_membership_sets(sub, loop_vars)
+                continue
+            stack.extend(ast.iter_child_nodes(sub))
+        self.generic_visit(node)
+
+    visit_For = _visit_loop
+    visit_AsyncFor = _visit_loop
+    visit_While = _visit_loop

@@ -94,7 +94,9 @@ class DataBlockSet:
         return pbn in self._members
 
     def __iter__(self):
-        return iter(self._members)
+        # Raw set order is fine here: every consumer feeds select_greedy,
+        # whose (valid_count, erase_count, pbn) key is a total order.
+        return iter(self._members)  # ftlint: disable=FTL012
 
     def add(self, pbn: int) -> None:
         self._members.add(pbn)

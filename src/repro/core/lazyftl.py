@@ -414,6 +414,7 @@ class LazyFTL(FlashTranslationLayer):
             if tracer is not None:
                 tracer.span_end(EventType.GC_END, ppn=victim.index)
 
+    # flowlint: hot
     def _collect_data_block(self, pbn: int) -> float:
         """Relocate a DBA victim's live pages into the cold area."""
         latency = 0.0

@@ -195,6 +195,7 @@ class MappingStore:
     # ------------------------------------------------------------------
     # Garbage collection of mapping blocks
     # ------------------------------------------------------------------
+    # flowlint: hot
     def collect(self, pbn: int) -> float:
         """Relocate a victim MBA block's valid GMT pages; caller erases."""
         latency = 0.0

@@ -336,8 +336,9 @@ def recover(
     cba: List[Tuple[int, int]] = []
     mba_full: List[int] = []
     mba_frontier: List[Tuple[int, int]] = []
+    scanned = frozenset(full_scan)
     dba: List[int] = [] if state is None else [
-        b for b in state["dba"] if b not in set(full_scan)
+        b for b in state["dba"] if b not in scanned
     ]
     free: List[int] = []
     for pbn in full_scan:

@@ -213,7 +213,10 @@ class BastFTL(FlashTranslationLayer):
         """The full, in-order log block simply becomes the data block."""
         self.stats.merges_switch += 1
         self._block_map[lbn] = log.pbn
-        latency = self._erase(data_pbn)
+        # A switch merge only fires when the log block is full and
+        # in-order, so every page of the old data block is superseded
+        # by construction; no per-page invalidation precedes the erase.
+        latency = self._erase(data_pbn)  # ftlint: disable=FTL010
         return latency
 
     def _partial_merge(

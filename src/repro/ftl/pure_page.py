@@ -184,7 +184,9 @@ class PageFTL(FlashTranslationLayer):
 
     def _collect_one(self) -> float:
         """Run one GC pass: relocate a victim's valid pages, erase it."""
-        victim = select_greedy(
+        # select_greedy's key is a total order, so set iteration order
+        # cannot change the victim.
+        victim = select_greedy(  # ftlint: disable=FTL012
             self.flash.block(b) for b in self._data_blocks
         )
         if victim is None:

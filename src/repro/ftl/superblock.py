@@ -20,8 +20,9 @@ visible instead.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
+from ..flash.block import Block
 from ..flash.chip import NandFlash
 from ..flash.geometry import MAP_ENTRY_BYTES
 from ..flash.oob import OOBData, SequenceCounter
@@ -89,7 +90,8 @@ class SuperblockFTL(FlashTranslationLayer):
     # ------------------------------------------------------------------
     # Host interface
     # ------------------------------------------------------------------
-    def _locate(self, lpn: int):
+    def _locate(self, lpn: int) -> Tuple[
+            Optional["_Superblock"], Optional[int], Optional[int]]:
         group_id, offset = divmod(lpn, self.group_pages)
         group = self._groups.get(group_id)
         if group is None:
@@ -175,7 +177,8 @@ class SuperblockFTL(FlashTranslationLayer):
             if tracer is not None:
                 tracer.span_end(EventType.GC_END, ppn=victim.index)
 
-    def _clean_group_inner(self, group: _Superblock, victim) -> float:
+    def _clean_group_inner(self, group: _Superblock,
+                           victim: Block) -> float:
         geometry = self.flash.geometry
         latency = 0.0
         # Move the victim's live pages into the newest block's free pages;

@@ -6,7 +6,7 @@ identically configured device and overprovisioning story.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Tuple
 
 from ..core import LazyConfig, LazyFTL
 from ..flash import FlashGeometry, NandFlash, SLC_TIMING, TimingModel
@@ -85,7 +85,7 @@ def standard_setup(
     sanitize: bool = False,
     tracer: Any = None,
     **options: Any,
-):
+) -> Tuple[NandFlash, Any, int]:
     """Build a (flash, ftl, logical_pages) triple with shared defaults.
 
     ``logical_fraction`` fixes the exported capacity as a fraction of raw

@@ -1,0 +1,16 @@
+# scope: core
+"""Known-bad: the membership set is rebuilt for every candidate tested.
+
+Both shapes are the recovery.py:340 bug this rule was written for: a
+``set(...)`` constructed inside a comprehension condition or a loop body
+purely to answer an ``in`` test, with a loop-invariant argument.
+"""
+
+
+def unseen_blocks(candidates, scanned):
+    fresh = [b for b in candidates if b not in set(scanned)]  # expect: FTL009
+    seen = []
+    for b in candidates:
+        if b in set(scanned):  # expect: FTL009
+            seen.append(b)
+    return fresh, seen

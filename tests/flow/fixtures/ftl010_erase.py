@@ -1,0 +1,13 @@
+# scope: ftl
+"""Known-bad: block erase with no relocation evidence on any path.
+
+``shrink`` erases a block without invalidating or relocating anything
+first and without a liveness guard - live mappings may still point into
+the erased block.
+"""
+
+
+class EagerEraser:
+    def shrink(self, flash, pbn):
+        flash.erase_block(pbn)  # expect: FTL010
+        return pbn

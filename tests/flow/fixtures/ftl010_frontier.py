@@ -1,0 +1,14 @@
+# scope: core
+"""Known-bad: a frontier PPN escapes the function unprogrammed.
+
+``reserve`` forms a PPN with the frontier arithmetic idiom and stores it
+on the instance without any path programming the page first - a reserved
+page leaks unwritten.
+"""
+
+
+class FrontierLeak:
+    def reserve(self, flash):
+        ppn = self.frontier * self.pages_per_block + self.write_ptr
+        self.last_ppn = ppn  # expect: FTL010
+        return ppn

@@ -1,0 +1,18 @@
+# scope: core
+"""Known-bad: mapping rewrite with the old PPN in hand, no invalidation.
+
+``remap`` reads the current translation, then overwrites it without any
+path invalidating the superseded physical page - the classic FTL leak
+where the old copy stays valid forever.
+"""
+
+
+class LeakyMapper:
+    def __init__(self, umt, flash):
+        self._umt = umt
+        self.flash = flash
+
+    def remap(self, lpn, new_ppn):
+        old_ppn = self._umt.ppn_at(lpn)
+        self._umt.set(lpn, new_ppn)  # expect: FTL010
+        return old_ppn

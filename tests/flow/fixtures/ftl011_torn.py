@@ -1,0 +1,17 @@
+# scope: core
+"""Known-bad: mapping write, then a may-raise call, all swallowed.
+
+If ``program_page`` throws after the UMT was updated, the handler
+swallows the exception and the caller continues with the mapping
+pointing at a page that was never written - torn state flashsan would
+only catch at audit time.
+"""
+
+
+class TornUpdate:
+    def apply(self, lpn, ppn):
+        try:
+            self._umt.set(lpn, ppn)  # expect: FTL011
+            self.flash.program_page(ppn)
+        except IOError:
+            self.stats.errors += 1

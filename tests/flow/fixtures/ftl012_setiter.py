@@ -1,0 +1,16 @@
+# scope: sim
+"""Known-bad: set iteration order leaking into replay-visible output.
+
+Every shape below exposes hash order: a for-loop over a set-typed local,
+an order-sensitive ``list()`` materialisation, and a comprehension whose
+generator iterates the set.
+"""
+
+
+def tally(latencies):
+    pending = set()
+    for lpn in pending:  # expect: FTL012
+        latencies.append(lpn)
+    order = list(pending)  # expect: FTL012
+    doubled = [lpn * 2 for lpn in pending]  # expect: FTL012
+    return order, doubled

@@ -1,0 +1,18 @@
+# scope: sim
+"""Known-bad: allocation and repeated lookups inside a marked hot loop.
+
+The lambda is a fresh closure per iteration; ``self.device.timing``
+chains are looked up twice per iteration and should be pre-bound to a
+local before the loop (the idiom the real replay loops use).
+"""
+
+
+class Replayer:
+    # flowlint: hot
+    def drain(self, rows):
+        total = 0
+        for op in rows:
+            key = lambda value: value + 1  # expect: FTL013
+            total += self.device.timing.read_us  # expect: FTL013
+            total -= self.device.timing.read_us
+        return total, key

@@ -1,0 +1,214 @@
+"""CFG construction and dataflow unit tests.
+
+Exercises the block/edge shapes the flow rules depend on: branch joins,
+loop back edges, try/except exceptional edges, early returns and dead
+code, plus the reaching-definitions / liveness / path-avoidance
+primitives built on top.
+"""
+
+import ast
+import textwrap
+
+from repro.checks.flow.cfg import build_cfg
+from repro.checks.flow.dataflow import (
+    exists_path_avoiding,
+    liveness,
+    reachable_blocks,
+    reaching_definitions,
+)
+
+
+def cfg_of(source):
+    tree = ast.parse(textwrap.dedent(source))
+    func = tree.body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(func)
+
+
+def stmt_at(cfg, lineno):
+    for _block, _index, stmt in cfg.statements():
+        if getattr(stmt, "lineno", None) == lineno:
+            return stmt
+    raise AssertionError(f"no stored statement at line {lineno}")
+
+
+class TestBranches:
+    SOURCE = """
+        def f(c):
+            if c:
+                x = 1
+            else:
+                x = 2
+            return x
+    """
+
+    def test_both_definitions_reach_the_join(self):
+        cfg = cfg_of(self.SOURCE)
+        reaching = reaching_definitions(cfg)
+        ret = stmt_at(cfg, 7)
+        block, index = cfg.position_of(ret)
+        defs = reaching.defs_of(block, index, "x")
+        assert sorted(d.lineno for d in defs) == [4, 6]
+
+    def test_if_without_else_keeps_fallthrough_edge(self):
+        cfg = cfg_of("""
+            def f(c):
+                x = 1
+                if c:
+                    x = 2
+                return x
+        """)
+        reaching = reaching_definitions(cfg)
+        block, index = cfg.position_of(stmt_at(cfg, 6))
+        defs = reaching.defs_of(block, index, "x")
+        assert sorted(d.lineno for d in defs) == [3, 5]
+
+
+class TestLoops:
+    def test_back_edge_carries_loop_definitions(self):
+        cfg = cfg_of("""
+            def f(n):
+                i = 0
+                while i < n:
+                    i = i + 1
+                return i
+        """)
+        reaching = reaching_definitions(cfg)
+        # Both the init and the in-loop rebind reach the loop header
+        # (back edge) and the statement after the loop.
+        for lineno in (4, 6):
+            block, index = cfg.position_of(stmt_at(cfg, lineno))
+            defs = reaching.defs_of(block, index, "i")
+            assert sorted(d.lineno for d in defs) == [3, 5], lineno
+
+    def test_for_header_may_skip_body(self):
+        cfg = cfg_of("""
+            def f(xs):
+                hit = False
+                for x in xs:
+                    hit = True
+                return hit
+        """)
+        reaching = reaching_definitions(cfg)
+        block, index = cfg.position_of(stmt_at(cfg, 6))
+        defs = reaching.defs_of(block, index, "hit")
+        assert sorted(d.lineno for d in defs) == [3, 5]
+
+    def test_while_true_without_break_never_exits(self):
+        cfg = cfg_of("""
+            def f(q):
+                while True:
+                    q.pop()
+        """)
+        assert cfg.exit.bid not in reachable_blocks(cfg.entry)
+
+    def test_break_reaches_code_after_the_loop(self):
+        cfg = cfg_of("""
+            def f(xs):
+                while True:
+                    if xs:
+                        break
+                return 0
+        """)
+        reach = reachable_blocks(cfg.entry)
+        ret_block, _ = cfg.position_of(stmt_at(cfg, 5))
+        assert ret_block.bid in reach
+        assert cfg.exit.bid in reach
+
+
+class TestTryExcept:
+    SOURCE = """
+        def f(flash, ppn):
+            try:
+                flash.program(ppn)
+                ok = True
+            except IOError:
+                ok = False
+            return ok
+    """
+
+    def test_handler_definition_reaches_the_join(self):
+        cfg = cfg_of(self.SOURCE)
+        reaching = reaching_definitions(cfg)
+        block, index = cfg.position_of(stmt_at(cfg, 8))
+        defs = reaching.defs_of(block, index, "ok")
+        assert sorted(d.lineno for d in defs) == [5, 7]
+
+    def test_exceptional_edge_skips_rest_of_try_body(self):
+        # program() may raise before `ok = True` runs: there must be a
+        # path from the call to the handler that avoids the assignment.
+        cfg = cfg_of(self.SOURCE)
+        call = stmt_at(cfg, 4)
+        ok_true = stmt_at(cfg, 5)
+        handler_block, _ = cfg.position_of(stmt_at(cfg, 7))
+        assert exists_path_avoiding(cfg, call, handler_block, [ok_true])
+
+    def test_uncaught_exception_reaches_raise_exit(self):
+        cfg = cfg_of("""
+            def f(flash, ppn):
+                try:
+                    flash.program(ppn)
+                except IOError:
+                    pass
+        """)
+        # IOError is not a catch-all: the exception may propagate.
+        assert cfg.raise_exit.bid in reachable_blocks(cfg.entry)
+
+
+class TestEarlyReturn:
+    def test_code_after_return_is_unreachable(self):
+        cfg = cfg_of("""
+            def f():
+                return 1
+                x = 2
+        """)
+        dead_block, _ = cfg.position_of(stmt_at(cfg, 4))
+        assert dead_block.bid not in reachable_blocks(cfg.entry)
+
+    def test_early_return_bypasses_later_statements(self):
+        cfg = cfg_of("""
+            def f(c, flash):
+                ppn = flash.alloc_page()
+                if c:
+                    return ppn
+                flash.program_page(ppn)
+                return ppn
+        """)
+        alloc = stmt_at(cfg, 3)
+        program = stmt_at(cfg, 6)
+        # The early return escapes without passing program_page...
+        assert exists_path_avoiding(cfg, alloc, cfg.exit, [program])
+        # ...but once program_page is unavoidable, no such path exists.
+        cfg2 = cfg_of("""
+            def f(flash):
+                ppn = flash.alloc_page()
+                flash.program_page(ppn)
+                return ppn
+        """)
+        alloc2 = stmt_at(cfg2, 3)
+        program2 = stmt_at(cfg2, 4)
+        assert not exists_path_avoiding(cfg2, alloc2, cfg2.exit,
+                                        [program2])
+
+
+class TestDataflowPrimitives:
+    def test_parameters_are_entry_definitions(self):
+        cfg = cfg_of("""
+            def f(a, b):
+                return a + b
+        """)
+        reaching = reaching_definitions(cfg)
+        block, index = cfg.position_of(stmt_at(cfg, 3))
+        assert reaching.defs_of(block, index, "a") == [None]
+
+    def test_liveness_excludes_locally_defined_names(self):
+        cfg = cfg_of("""
+            def f(a, b):
+                c = a + 1
+                return c
+        """)
+        live = liveness(cfg)
+        first = cfg.entry.succs[0]
+        assert "a" in live.live_into(first)
+        assert "c" not in live.live_into(first)
+        assert "b" not in live.live_into(first)

@@ -1,0 +1,119 @@
+"""tools/check_all.py: stage aggregation, timing summary, --require-mypy.
+
+The gate script is subprocess-driven and stdlib-only, so these tests load
+it by path and drive ``main()`` with stubbed stage runners - no real
+pytest/perfbench subprocesses are spawned.
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+_TOOL = (pathlib.Path(__file__).resolve().parent.parent
+         / "tools" / "check_all.py")
+
+
+@pytest.fixture()
+def check_all(monkeypatch):
+    spec = importlib.util.spec_from_file_location("check_all_under_test",
+                                                  _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    monkeypatch.setitem(sys.modules, "check_all_under_test", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestFormatSummary:
+    def test_totals_and_alignment(self, check_all):
+        lines = check_all.format_summary([
+            ("ftlint", "OK", 1.25),
+            ("flowlint", "FAILED", 2.5),
+            ("pytest", "SKIPPED", 0.0),
+        ])
+        assert lines[0] == "check_all stage summary:"
+        assert "ftlint" in lines[1] and "OK" in lines[1]
+        assert "flowlint" in lines[2] and "FAILED" in lines[2]
+        assert lines[-1].strip().startswith("total")
+        assert "3.75s" in lines[-1]
+
+    def test_empty(self, check_all):
+        lines = check_all.format_summary([])
+        assert lines[0] == "check_all stage summary:"
+        assert "0.00s" in lines[-1]
+
+
+class TestAggregation:
+    def _stub_stages(self, check_all, monkeypatch, outcomes):
+        monkeypatch.setattr(check_all, "STEPS", tuple(outcomes))
+        monkeypatch.setattr(check_all, "RUNNERS", {
+            name: (lambda ok: lambda config: ok)(ok)
+            for name, ok in outcomes.items()
+        })
+
+    def test_all_ok_exits_zero(self, check_all, monkeypatch, capsys):
+        self._stub_stages(check_all, monkeypatch,
+                          {"a": True, "b": True})
+        assert check_all.main([]) == 0
+        out = capsys.readouterr().out
+        assert "check_all: all gates passed" in out
+        assert "check_all stage summary:" in out
+
+    def test_single_failure_exits_nonzero(self, check_all, monkeypatch,
+                                          capsys):
+        self._stub_stages(check_all, monkeypatch,
+                          {"a": True, "b": False, "c": True})
+        assert check_all.main([]) == 1
+        out = capsys.readouterr().out
+        assert "check_all: FAILED (b)" in out
+
+    def test_every_failure_is_listed(self, check_all, monkeypatch,
+                                     capsys):
+        self._stub_stages(check_all, monkeypatch,
+                          {"a": False, "b": True, "c": False})
+        assert check_all.main([]) == 1
+        assert "check_all: FAILED (a, c)" in capsys.readouterr().out
+
+    def test_skip_excludes_stage_from_failures(self, check_all,
+                                               monkeypatch, capsys):
+        self._stub_stages(check_all, monkeypatch,
+                          {"a": False, "b": True})
+        assert check_all.main(["--skip", "a"]) == 0
+        out = capsys.readouterr().out
+        assert "a: SKIPPED (--skip)" in out
+        assert "all gates passed" in out
+
+    def test_summary_reflects_stage_status(self, check_all, monkeypatch,
+                                           capsys):
+        self._stub_stages(check_all, monkeypatch,
+                          {"a": True, "b": False})
+        check_all.main(["--skip", "a"])
+        summary = capsys.readouterr().out.split(
+            "check_all stage summary:")[1]
+        assert "SKIPPED" in summary
+        assert "FAILED" in summary
+
+
+class TestRequireMypy:
+    def test_missing_mypy_fails_when_required(self, check_all,
+                                              monkeypatch):
+        monkeypatch.setattr(importlib.util, "find_spec",
+                            lambda name: None)
+        assert check_all.step_mypy({"_require_mypy": True}) is False
+
+    def test_missing_mypy_skips_when_not_required(self, check_all,
+                                                  monkeypatch):
+        monkeypatch.setattr(importlib.util, "find_spec",
+                            lambda name: None)
+        assert check_all.step_mypy({"_require_mypy": False}) is True
+
+
+class TestFlowlintStage:
+    def test_flow_rule_ids_match_engine(self, check_all):
+        from repro.checks.lint import FLOW_RULE_IDS
+        assert set(check_all.FLOW_RULE_IDS) == set(FLOW_RULE_IDS)
+
+    def test_flowlint_stage_registered(self, check_all):
+        assert "flowlint" in check_all.STEPS
+        assert "flowlint" in check_all.RUNNERS

@@ -136,10 +136,12 @@ class TestFTL003BlockMutation:
         """)
 
     def test_force_erase_call_flagged(self):
+        # Also trips FTL010: an evidence-free erase is exactly what the
+        # flow protocol rule exists to catch.
         assert rule_ids("""
             def nuke(block):
                 block.force_erase()
-        """) == ["FTL003"]
+        """) == ["FTL003", "FTL010"]
 
     def test_flash_scope_exempt(self):
         assert rule_ids("""
@@ -420,6 +422,41 @@ class TestFTL008ReplayAttrs:
         """) == ["FTL008"]
 
 
+class TestFTL009SetRebuild:
+    def test_comprehension_condition_flagged(self):
+        assert rule_ids("""
+            def f(candidates, scanned):
+                return [b for b in candidates if b not in set(scanned)]
+        """) == ["FTL009"]
+
+    def test_loop_body_membership_flagged(self):
+        assert rule_ids("""
+            def f(candidates, scanned):
+                for b in candidates:
+                    if b in frozenset(scanned):
+                        yield b
+        """) == ["FTL009"]
+
+    def test_loop_dependent_set_ok(self):
+        assert rule_ids("""
+            def f(groups):
+                return [g for g in groups if g.pbn in set(g.peers)]
+        """) == []
+
+    def test_hoisted_set_ok(self):
+        assert rule_ids("""
+            def f(candidates, scanned):
+                scanned = frozenset(scanned)
+                return [b for b in candidates if b not in scanned]
+        """) == []
+
+    def test_set_outside_loop_ok(self):
+        assert rule_ids("""
+            def f(b, scanned):
+                return b in set(scanned)
+        """) == []
+
+
 class TestEngine:
     def test_inline_suppression_bare(self):
         assert rule_ids("""
@@ -458,7 +495,8 @@ class TestEngine:
 
     def test_every_rule_has_id_and_message(self):
         ids = [rule.RULE_ID for rule in ALL_RULES]
-        assert len(ids) == len(set(ids)) == 8
+        assert len(ids) == len(set(ids)) == 13
+        assert ids == [f"FTL{n:03d}" for n in range(1, 14)]
         assert all(rule.MESSAGE for rule in ALL_RULES)
 
 
@@ -485,3 +523,44 @@ class TestCli:
         assert result.returncode == 0
         for rule in ALL_RULES:
             assert rule.RULE_ID in result.stdout
+
+    @staticmethod
+    def _two_violation_file(tmp_path):
+        bad = tmp_path / "repro" / "ftl" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\nimport time\n"
+                       "x = random.randrange(4)\nt = time.time()\n")
+        return bad
+
+    def test_select_runs_only_named_rules(self, tmp_path):
+        bad = self._two_violation_file(tmp_path)
+        result = run_tool("--select", "FTL002", str(bad))
+        assert result.returncode == 1
+        assert "FTL002" in result.stdout
+        assert "FTL001" not in result.stdout
+
+    def test_ignore_drops_named_rules(self, tmp_path):
+        bad = self._two_violation_file(tmp_path)
+        result = run_tool("--ignore", "FTL002", str(bad))
+        assert result.returncode == 1
+        assert "FTL001" in result.stdout
+        assert "FTL002" not in result.stdout
+
+    def test_select_and_ignore_compose_to_clean(self, tmp_path):
+        bad = self._two_violation_file(tmp_path)
+        result = run_tool("--select", "FTL001", "--ignore", "FTL001",
+                          str(bad))
+        assert result.returncode == 0
+
+    def test_unknown_rule_id_exits_two(self):
+        result = run_tool("--select", "FTL999")
+        assert result.returncode == 2
+        assert "FTL999" in result.stderr
+
+    def test_github_format(self, tmp_path):
+        bad = self._two_violation_file(tmp_path)
+        result = run_tool("--format=github", "--select", "FTL002",
+                          str(bad))
+        assert result.returncode == 1
+        assert result.stdout.startswith(
+            f"::error file={bad},line=3,col=4,title=FTL002::")

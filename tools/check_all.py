@@ -3,33 +3,39 @@
 
 Runs, in order:
 
-1. **ftlint** - project lint rules over the configured trees;
-2. **pytest** - the tier-1 test suite (``PYTHONPATH=src pytest -q``);
-3. **mypy** - static types for ``repro.core`` / ``repro.flash``
-   (skipped with a notice when mypy is not installed; the container
-   image does not ship it);
-4. **trace schema** - generates a small end-to-end trace via
+1. **ftlint** - the single-node AST lint rules (FTL001-FTL009) over
+   the configured trees;
+2. **flowlint** - the CFG/dataflow rules (FTL010-FTL013) over
+   ``src/repro`` (same engine, ``--select``-ed so the expensive flow
+   analyses are a separately-timed gate);
+3. **pytest** - the tier-1 test suite (``PYTHONPATH=src pytest -q``);
+4. **mypy** - static types for the ``[tool.mypy] files`` trees
+   (skipped with a notice when mypy is not installed, unless
+   ``--require-mypy`` - the default when ``$CI`` is set - makes a
+   missing mypy a failure);
+5. **trace schema** - generates a small end-to-end trace via
    ``python -m repro compare --trace-out`` and validates it with
    ``tools/check_trace_schema.py`` (including cause-stack consistency);
-5. **report** - renders a small latency-decomposition run report under
+6. **report** - renders a small latency-decomposition run report under
    ``--sanitize`` (so the per-op decomposition invariant is audited),
    saves the snapshot, and validates its schema with
    ``tools/check_trace_schema.py``;
-6. **perfbench** - ``benchmarks/perfbench.py --smoke --check``: replays
+7. **perfbench** - ``benchmarks/perfbench.py --smoke --check``: replays
    the smoke throughput suite and fails when any cell regresses more
    than ``[tool.perfbench] max_regression_pct`` against the committed
    ``BENCH_pr3.json`` 'after' baseline;
-7. **crashmc** - ``python -m repro crashcheck``: crash-consistency
+8. **crashmc** - ``python -m repro crashcheck``: crash-consistency
    smoke (every program/erase boundary of a short mixed workload for
    each recovery-capable scheme, plus the ``--mutate`` oracle
    self-test).
 
 Configuration lives in ``pyproject.toml`` under ``[tool.check_all]``
 (lint paths, the trace smoke command).  Exit status 0 when every step
-passes, 1 otherwise; each step's verdict is printed as it completes so
-CI logs show exactly which gate failed.
+passes, 1 otherwise; each step's verdict is printed as it completes and
+a per-stage wall-clock summary closes the run, so CI logs show exactly
+which gate failed and where the time went.
 
-Run:  python tools/check_all.py [--skip pytest] [--skip mypy] ...
+Run:  python tools/check_all.py [--skip pytest] [--require-mypy] ...
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ import pathlib
 import subprocess
 import sys
 import tempfile
+import time
 
 _REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 _SRC = _REPO_ROOT / "src"
@@ -50,8 +57,14 @@ try:
 except ModuleNotFoundError:  # Python < 3.11
     tomllib = None
 
-STEPS = ("ftlint", "pytest", "mypy", "trace", "report", "perfbench",
-         "crashmc")
+STEPS = ("ftlint", "flowlint", "pytest", "mypy", "trace", "report",
+         "perfbench", "crashmc")
+
+#: The CFG/dataflow rule ids (kept in sync with
+#: ``repro.checks.lint.FLOW_RULE_IDS``; this module stays stdlib-only
+#: and subprocess-driven, so the ids are spelled out here and the
+#: ``flowlint`` stage's --select would fail loudly on a typo).
+FLOW_RULE_IDS = ("FTL010", "FTL011", "FTL012", "FTL013")
 
 
 def load_config() -> dict:
@@ -91,7 +104,19 @@ def run_step(name: str, argv: list) -> bool:
 def step_ftlint(config: dict) -> bool:
     return run_step("ftlint", [
         sys.executable, str(_REPO_ROOT / "tools" / "ftlint.py"),
+        "--ignore", ",".join(FLOW_RULE_IDS),
         *config["lint_paths"],
+    ])
+
+
+def step_flowlint(config: dict) -> bool:
+    """The dataflow rules, scoped to the analysed source tree (the flow
+    rules only patrol repro sub-packages anyway; tests/fixture corpora
+    of deliberately-bad snippets must not fail the gate)."""
+    return run_step("flowlint", [
+        sys.executable, str(_REPO_ROOT / "tools" / "ftlint.py"),
+        "--select", ",".join(FLOW_RULE_IDS),
+        str(_REPO_ROOT / "src" / "repro"),
     ])
 
 
@@ -101,6 +126,10 @@ def step_pytest(config: dict) -> bool:
 
 def step_mypy(config: dict) -> bool:
     if importlib.util.find_spec("mypy") is None:
+        if config.get("_require_mypy"):
+            print("== mypy: FAILED (mypy not installed but required; "
+                  "install the 'dev' extra)", flush=True)
+            return False
         print("== mypy: SKIPPED (mypy not installed; config is in "
               "[tool.mypy] of pyproject.toml)", flush=True)
         return True
@@ -182,6 +211,32 @@ def step_crashmc(config: dict) -> bool:
     ])
 
 
+RUNNERS = {
+    "ftlint": step_ftlint,
+    "flowlint": step_flowlint,
+    "pytest": step_pytest,
+    "mypy": step_mypy,
+    "trace": step_trace,
+    "report": step_report,
+    "perfbench": step_perfbench,
+    "crashmc": step_crashmc,
+}
+
+
+def format_summary(results) -> list:
+    """Render the per-stage timing table: ``(name, status, seconds)``
+    triples -> aligned lines plus the total.  Split out from main() so
+    the aggregation is unit-testable."""
+    width = max((len(name) for name, _, _ in results), default=0)
+    lines = ["check_all stage summary:"]
+    total = 0.0
+    for name, status, seconds in results:
+        total += seconds
+        lines.append(f"  {name:<{width}}  {status:<7}  {seconds:7.2f}s")
+    lines.append(f"  {'total':<{width}}  {'':<7}  {total:7.2f}s")
+    return lines
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="check_all", description=__doc__.splitlines()[0]
@@ -190,25 +245,30 @@ def main(argv=None) -> int:
                         choices=list(STEPS), metavar="STEP",
                         help=f"skip a step (choices: {', '.join(STEPS)}); "
                              "repeatable")
+    parser.add_argument(
+        "--require-mypy", action="store_true",
+        default=bool(os.environ.get("CI")),
+        help="fail (instead of skip) the mypy stage when mypy is not "
+             "installed; default on when $CI is set",
+    )
     args = parser.parse_args(argv)
 
     config = load_config()
-    runners = {
-        "ftlint": step_ftlint,
-        "pytest": step_pytest,
-        "mypy": step_mypy,
-        "trace": step_trace,
-        "report": step_report,
-        "perfbench": step_perfbench,
-        "crashmc": step_crashmc,
-    }
-    failed = []
+    config["_require_mypy"] = args.require_mypy
+    results = []  # (name, status, wall seconds)
     for name in STEPS:
         if name in args.skip:
             print(f"== {name}: SKIPPED (--skip)", flush=True)
+            results.append((name, "SKIPPED", 0.0))
             continue
-        if not runners[name](config):
-            failed.append(name)
+        started = time.perf_counter()
+        ok = RUNNERS[name](config)
+        elapsed = time.perf_counter() - started
+        results.append((name, "OK" if ok else "FAILED", elapsed))
+    print()
+    for line in format_summary(results):
+        print(line)
+    failed = [name for name, status, _ in results if status == "FAILED"]
     print()
     if failed:
         print(f"check_all: FAILED ({', '.join(failed)})")
