@@ -17,7 +17,17 @@ Inside every loop of a hot function the rule flags:
   evaluated twice or more per iteration with a loop-invariant root:
   bind it to a local before the loop (the pre-binding idiom the hot
   paths already use).  Chains whose root is rebound inside the loop, or
-  is guarded by an ``is not None`` test (optional tracers), are exempt.
+  is guarded by an ``is not None`` test (optional tracers), are exempt;
+* **per-element numpy indexing** - scalar ``x[i]`` subscripts on a name
+  assigned from a numpy call: each one round-trips through a boxed
+  Python float, defeating the vectorized kernel (slices are exempt -
+  they stay bulk);
+* **``np.append`` calls** - every call reallocates and copies the whole
+  array; accumulate into a list / preallocated buffer instead;
+* **object allocation** - a class instantiated (CapWord call) on every
+  iteration; pre-build it or use the columnar form (exception
+  constructors inside ``raise`` are exempt: they fire once, then
+  unwind).
 
 Per-line opt-out: ``# ftlint: disable=FTL013`` plus a reason.
 """
@@ -34,7 +44,7 @@ from .summaries import ModuleSummaries
 #: FTL008's registry in repro.checks.lint.replayattrs).
 _REPLAY_REGISTRY = {
     "simulator.py": frozenset({"warm_up", "_replay_fast",
-                               "_replay_traced"}),
+                               "_replay_batched", "_replay_traced"}),
 }
 
 #: Marker comment that opts a function into hot-loop analysis.
@@ -43,6 +53,10 @@ HOT_MARKER = "# flowlint: hot"
 #: Minimum per-loop occurrences of an attribute chain before it is
 #: reported as a hoistable repeated lookup.
 _REPEAT_THRESHOLD = 2
+
+#: Names a module binds the numpy module to.  ``_np`` is the lazy
+#: import alias used by :mod:`repro.perf.batch`.
+_NUMPY_ROOTS = frozenset({"np", "_np", "numpy"})
 
 
 def _attr_chain(node: ast.Attribute) -> Optional[Tuple[str, ...]]:
@@ -63,9 +77,10 @@ def _attr_chain(node: ast.Attribute) -> Optional[Tuple[str, ...]]:
 class HotLoopRule(FlowRule):
     RULE_ID = "FTL013"
     MESSAGE = ("hot-loop safety: no closures, per-iteration container "
-               "builds, or repeated attribute lookups inside marked "
-               "replay/GC inner loops")
-    SCOPES = frozenset({"core", "ftl", "sim"})
+               "builds, repeated attribute lookups, per-element numpy "
+               "indexing, np.append, or object allocation inside marked "
+               "replay/GC/kernel inner loops")
+    SCOPES = frozenset({"core", "ftl", "perf", "sim"})
 
     # ------------------------------------------------------------------
     def _is_hot(self, func: ast.FunctionDef) -> bool:
@@ -88,9 +103,12 @@ class HotLoopRule(FlowRule):
         if not self._is_hot(func):
             return
         guarded = self._none_guarded_names(func)
+        numpy_names = self._numpy_names(func)
+        raise_calls = self._raise_calls(func)
         reported: Set[int] = set()
         for loop in self._own_loops(func):
-            self._check_loop(loop, guarded, reported)
+            self._check_loop(loop, guarded, numpy_names, raise_calls,
+                             reported)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -110,6 +128,38 @@ class HotLoopRule(FlowRule):
         return loops
 
     @staticmethod
+    def _numpy_names(func: ast.FunctionDef) -> Set[str]:
+        """Names bound from a numpy-rooted call (``x = np.cumsum(...)``):
+        scalar ``x[i]`` on these inside a hot loop defeats the kernel."""
+        names: Set[str] = set()
+        for node in ast.walk(func):
+            if not (isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Call)):
+                continue
+            fn = node.value.func
+            if not isinstance(fn, ast.Attribute):
+                continue
+            chain = _attr_chain(fn)
+            if chain is None or chain[0] not in _NUMPY_ROOTS:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        return names
+
+    @staticmethod
+    def _raise_calls(func: ast.FunctionDef) -> Set[int]:
+        """ids of Call nodes inside ``raise`` expressions: exception
+        constructors fire once and unwind, never per iteration."""
+        exempt: Set[int] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Raise) and node.exc is not None:
+                for sub in ast.walk(node.exc):
+                    if isinstance(sub, ast.Call):
+                        exempt.add(id(sub))
+        return exempt
+
+    @staticmethod
     def _none_guarded_names(func: ast.FunctionDef) -> Set[str]:
         """Roots tested with ``is [not] None`` anywhere in the function:
         optional dependencies (tracers) that cannot be pre-bound."""
@@ -123,6 +173,7 @@ class HotLoopRule(FlowRule):
         return guarded
 
     def _check_loop(self, loop: ast.stmt, guarded: Set[str],
+                    numpy_names: Set[str], raise_calls: Set[int],
                     reported: Set[int]) -> None:
         body: List[ast.stmt] = list(loop.body)  # type: ignore[attr-defined]
         rebound = self._rebound_names(loop)
@@ -147,6 +198,45 @@ class HotLoopRule(FlowRule):
                     self.report(node, "container built on every iteration "
                                       "of a hot loop; hoist it or rewrite "
                                       "the scalar way")
+                elif isinstance(node, ast.Subscript) \
+                        and isinstance(node.value, ast.Name) \
+                        and node.value.id in numpy_names \
+                        and not isinstance(node.slice, ast.Slice) \
+                        and id(node) not in reported:
+                    reported.add(id(node))
+                    self.report(
+                        node,
+                        f"per-element index into numpy array "
+                        f"'{node.value.id}' inside a hot loop boxes a "
+                        "Python scalar each time; slice it, vectorize "
+                        "the op, or use the pure-array kernel",
+                    )
+                elif isinstance(node, ast.Call) \
+                        and isinstance(node.func, ast.Attribute):
+                    chain = _attr_chain(node.func)
+                    if chain is not None and chain[0] in _NUMPY_ROOTS \
+                            and chain[-1] == "append" \
+                            and id(node) not in reported:
+                        reported.add(id(node))
+                        self.report(
+                            node,
+                            "np.append inside a hot loop copies the "
+                            "whole array every call; accumulate into a "
+                            "list or preallocated buffer",
+                        )
+                elif isinstance(node, ast.Call) \
+                        and isinstance(node.func, ast.Name) \
+                        and node.func.id[:1].isupper() \
+                        and not node.func.id.isupper() \
+                        and id(node) not in raise_calls \
+                        and id(node) not in reported:
+                    reported.add(id(node))
+                    self.report(
+                        node,
+                        f"'{node.func.id}(...)' allocates an object on "
+                        "every iteration of a hot loop; hoist it or use "
+                        "the columnar/tuple fast path",
+                    )
                 elif isinstance(node, ast.Attribute) \
                         and isinstance(node.ctx, ast.Load):
                     chain = _attr_chain(node)

@@ -1,7 +1,8 @@
 """FTL008: no per-request attribute access in the simulator replay loops.
 
 The replay loops in ``repro/sim/simulator.py`` (``warm_up``,
-``_replay_fast``, ``_replay_traced``) iterate the columnar trace form
+``_replay_fast``, ``_replay_batched``, ``_replay_traced``) iterate the
+columnar trace form
 (:mod:`repro.traces.columnar`): four machine-typed arrays, unpacked by
 ``zip``.  Touching ``IORequest`` attributes - ``.op``, ``.is_write``,
 ``.pages``, ``.lpn``, ``.npages``, ``.arrival_us`` - inside those
@@ -22,7 +23,8 @@ import ast
 from .base import Rule
 
 #: Functions in simulator.py that constitute the replay hot path.
-_REPLAY_FUNCTIONS = ("warm_up", "_replay_fast", "_replay_traced")
+_REPLAY_FUNCTIONS = ("warm_up", "_replay_fast", "_replay_batched",
+                     "_replay_traced")
 #: IORequest attribute names whose access marks a per-request object.
 #: (``npages`` is excluded: it is also the name of a ColumnarTrace
 #: column, which the loops legitimately read.)

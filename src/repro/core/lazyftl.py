@@ -46,6 +46,7 @@ ANCHOR_BLOCKS = (0, 1)
 #: :meth:`LazyFTL._deferred_invalidate` (called once per displaced GMT
 #: entry - a commit-path hot spot).
 _VALID = PageState.VALID
+_INVALID = PageState.INVALID
 _DATA = PageKind.DATA
 
 
@@ -134,14 +135,34 @@ class LazyFTL(FlashTranslationLayer):
         if not 0 <= lpn < self.logical_pages:
             self._check_lpn(lpn)
         self.stats.host_reads += 1
+        flash = self.flash
+        fast = self._tracer is None and flash.maintenance_fast_path()
         umt_ppn = self._umt.ppn_at(lpn)
         if umt_ppn >= 0:
-            data, _, latency = self.flash.read_page(umt_ppn)
+            if fast:
+                # Inline data read (scalar boundary-op hot spot); twin of
+                # the call below (see NandFlash.maintenance_fast_path).
+                ppb = self._pages_per_block
+                page = flash.blocks[umt_ppn // ppb].pages[umt_ppn % ppb]
+                fstats = flash.stats
+                read_us = flash.timing.page_read_us
+                fstats.page_reads += 1
+                fstats.read_us += read_us
+                return HostResult(read_us, page.data)
+            data, _, latency = flash.read_page(umt_ppn)
             return HostResult(latency, data)
         ppn, latency = self._maps.lookup(lpn)
         if ppn is None:
             return HostResult(latency + UNMAPPED_READ_US)
-        data, _, read_lat = self.flash.read_page(ppn)
+        if fast:
+            ppb = self._pages_per_block
+            page = flash.blocks[ppn // ppb].pages[ppn % ppb]
+            fstats = flash.stats
+            read_us = flash.timing.page_read_us
+            fstats.page_reads += 1
+            fstats.read_us += read_us
+            return HostResult(latency + read_us, page.data)
+        data, _, read_lat = flash.read_page(ppn)
         return HostResult(latency + read_lat, data)
 
     def write(self, lpn: int, data: Any = None) -> HostResult:
@@ -159,8 +180,40 @@ class LazyFTL(FlashTranslationLayer):
         # Resolve the superseded copy only now: the frontier work above may
         # have converted the block holding it (removing its UMT entry).
         old_ppn = self._umt.ppn_at(lpn)
-        ppn = frontier * self._pages_per_block \
-            + flash.blocks[frontier]._write_ptr
+        ppb = self._pages_per_block
+        block = flash.blocks[frontier]
+        wp = block._write_ptr
+        ppn = frontier * ppb + wp
+        if self._tracer is None and flash.maintenance_fast_path():
+            # Inline program + old-copy invalidate (scalar boundary-op
+            # hot spot); twin of the calls below, bit-identical (see
+            # NandFlash.maintenance_fast_path).
+            page = block.pages[wp]
+            page.state = PageState.VALID
+            page.data = data
+            seq = self._seq
+            s = seq._next
+            seq._next = s + 1
+            page.oob = make_oob((lpn, s, PageKind.DATA, False))
+            block.note_programmed()
+            fstats = flash.stats
+            program_us = flash.timing.page_program_us
+            fstats.page_programs += 1
+            fstats.program_us += program_us
+            latency += program_us
+            if old_ppn >= 0:
+                # The old copy lives in the UBA/CBA: invalidate now.
+                oblock = flash.blocks[old_ppn // ppb]
+                opage = oblock.pages[old_ppn % ppb]
+                if opage.state is PageState.VALID:
+                    opage.state = PageState.INVALID
+                    oblock.note_invalidated()
+                else:  # defensive: keep the slow path's accounting
+                    flash.invalidate_page(old_ppn)
+            self._umt.set(lpn, ppn, cold=False)
+            if self._ckpt_interval > 0:
+                latency += self._periodic_checkpoint()
+            return HostResult(latency)
         latency += flash.program_page(
             ppn, data, make_oob((lpn, self._seq.next(), PageKind.DATA, False))
         )
@@ -287,9 +340,13 @@ class LazyFTL(FlashTranslationLayer):
         block = self.flash.blocks[pbn]
         base = pbn * self._pages_per_block
         umt = self._umt
-        points_to = umt.points_to
         pages = block.pages
         VALID = PageState.VALID
+        # Inline umt.points_to: the pair scan mutates nothing, so the
+        # flat ppn array and its length are loop invariants (lpns from
+        # OOB are non-negative by construction).
+        uppn = umt._ppn
+        ulen = len(uppn)
         pairs = []
         for offset in range(block._write_ptr):
             page = pages[offset]
@@ -297,7 +354,7 @@ class LazyFTL(FlashTranslationLayer):
                 continue
             lpn = page.oob.lpn
             ppn = base + offset
-            if points_to(lpn, ppn):
+            if lpn < ulen and uppn[lpn] == ppn:
                 pairs.append((lpn, ppn))
             # A valid page the UMT does not point to was committed early by
             # a previous conversion's global batching (below); its mapping
@@ -309,15 +366,38 @@ class LazyFTL(FlashTranslationLayer):
         batched = self.config.global_batching
         n_committed = len(pairs)
         if batched:
-            ppn_at = umt.ppn_at
+            lpns_in_tvpn = umt.lpns_in_tvpn
             for tvpn, group in groups.items():
                 in_group = {lpn for lpn, _ in group}
-                for lpn in umt.lpns_in_tvpn(tvpn):
+                for lpn in lpns_in_tvpn(tvpn):
                     if lpn in in_group:
                         continue
-                    group.append((lpn, ppn_at(lpn)))
+                    # Inline umt.ppn_at: every lpn in the tvpn index was
+                    # inserted through set(), so it is always in range.
+                    group.append((lpn, uppn[lpn]))
                     n_committed += 1
-        latency = self._maps.commit(groups, self._deferred_invalidate)
+        on_superseded = self._deferred_invalidate
+        if tracer is None and self.flash.maintenance_fast_path():
+            # Prebound twin of _deferred_invalidate: same page-identity
+            # check, with the known-VALID invalidation done inline (one
+            # call per displaced entry is the commit-path hot spot).
+            blocks = self.flash.blocks
+            ppb = self._pages_per_block
+
+            def on_superseded(lpn, old_ppn, _blocks=blocks, _ppb=ppb):
+                oblock = _blocks[old_ppn // _ppb]
+                opage = oblock.pages[old_ppn % _ppb]
+                oob = opage.oob
+                if (
+                    opage.state is _VALID
+                    and oob is not None
+                    and oob.kind is _DATA
+                    and oob.lpn == lpn
+                ):
+                    opage.state = _INVALID
+                    oblock.note_invalidated()
+
+        latency = self._maps.commit(groups, on_superseded)
         if batched:
             # With global batching every UMT entry covered by a committed
             # GMT page was just committed, so retire them per page in bulk.
@@ -443,6 +523,86 @@ class LazyFTL(FlashTranslationLayer):
         # re-fetched only after that call instead of through the property
         # on every relocated page.
         frontier = cba.frontier
+        if flash.maintenance_fast_path():
+            # Inline twin of the loop below: replicates the untraced
+            # raw-op closures' page/stats mutations (see
+            # NandFlash.maintenance_fast_path) without a Python call per
+            # page; float accumulation order matches, so both produce
+            # bit-identical results.
+            fstats = flash.stats
+            timing = flash.timing
+            read_us = timing.page_read_us
+            program_us = timing.page_program_us
+            seq = self._seq
+            uppn = umt._ppn
+            ucold = umt._cold
+            by_tvpn = umt._by_tvpn
+            epp = umt.entries_per_page
+            umt_set = umt.set
+            INVALID = PageState.INVALID
+            note_invalidated = block.note_invalidated
+            for offset in offsets:
+                page = pages[offset]
+                if page.state is not VALID:
+                    # Mid-pass conversion invalidated it (see the slow
+                    # loop's comment) - skip the dead page.
+                    continue
+                src = base + offset
+                lpn = page.oob.lpn
+                umt_ppn = uppn[lpn] if lpn < len(uppn) else -1
+                if umt_ppn >= 0 and umt_ppn != src:
+                    # Superseded: deferred invalidation resolves for free.
+                    page.state = INVALID
+                    note_invalidated()
+                    continue
+                data = page.data
+                fstats.page_reads += 1
+                fstats.read_us += read_us
+                latency += read_us
+                if frontier is None or blocks[frontier]._write_ptr >= ppb:
+                    latency += self._ensure_cold_frontier()
+                    frontier = cba.frontier
+                fblock = blocks[frontier]
+                wp = fblock._write_ptr
+                dst = frontier * ppb + wp
+                dpage = fblock.pages[wp]
+                dpage.state = VALID
+                dpage.data = data
+                # seq re-read per page: _ensure_cold_frontier may have
+                # programmed mapping pages, advancing the counter.
+                s = seq._next
+                seq._next = s + 1
+                dpage.oob = make_oob((lpn, s, DATA, True))
+                fblock.note_programmed()
+                fstats.page_programs += 1
+                fstats.program_us += program_us
+                latency += program_us
+                # Inline umt.set(lpn, dst, cold=True): the flat arrays
+                # only grow through _grow_to (array.extend, in place), so
+                # the aliases stay valid; growth falls back to the method.
+                if lpn < len(uppn):
+                    if uppn[lpn] < 0:
+                        umt._count += 1
+                        tvpn = lpn // epp
+                        peers = by_tvpn.get(tvpn)
+                        if peers is None:
+                            by_tvpn[tvpn] = {lpn}
+                        else:
+                            peers.add(lpn)
+                    uppn[lpn] = dst
+                    ucold[lpn] = 1
+                else:
+                    umt_set(lpn, dst, cold=True)
+                if page.state is VALID:
+                    page.state = INVALID
+                    note_invalidated()
+                else:
+                    # A conversion inside _ensure_cold_frontier resolved
+                    # this page's deferred invalidation first; keep the
+                    # redundant-invalidate accounting of the slow loop.
+                    invalidate_page(src)
+                stats.gc_page_copies += 1
+            return latency
         for offset in offsets:
             page = pages[offset]
             if page.state is not VALID:

@@ -162,10 +162,43 @@ class MappingStore:
     def _program(self, tvpn: int, content: List[Optional[int]]) -> float:
         """Write a new version of GMT page ``tvpn``; update GTD and cache."""
         latency = self._ensure_frontier()
+        flash = self.flash
         frontier = self._frontier
-        block = self.flash.blocks[frontier]
-        ppn = frontier * len(block.pages) + block._write_ptr
-        latency += self.flash.program_page(
+        block = flash.blocks[frontier]
+        ppb = len(block.pages)
+        wp = block._write_ptr
+        ppn = frontier * ppb + wp
+        if self.tracer is None and flash.maintenance_fast_path():
+            # Inline program + displaced-page invalidate (commit-path hot
+            # spot); twin of the calls below, bit-identical by
+            # construction (see NandFlash.maintenance_fast_path).
+            page = block.pages[wp]
+            page.state = PageState.VALID
+            page.data = content
+            seq = self.seq
+            s = seq._next
+            seq._next = s + 1
+            page.oob = make_oob((tvpn, s, PageKind.MAPPING, False))
+            block.note_programmed()
+            fstats = flash.stats
+            program_us = flash.timing.page_program_us
+            fstats.page_programs += 1
+            fstats.program_us += program_us
+            latency += program_us
+            self.stats.map_writes += 1
+            old = self.gtd.get(tvpn)
+            if old is not None:
+                oblock = flash.blocks[old // ppb]
+                opage = oblock.pages[old % ppb]
+                if opage.state is PageState.VALID:
+                    opage.state = PageState.INVALID
+                    oblock.note_invalidated()
+                else:  # defensive: keep the slow path's accounting
+                    flash.invalidate_page(old)
+            self.gtd.set(tvpn, ppn)
+            self._cache.put(tvpn, content)
+            return latency
+        latency += flash.program_page(
             ppn,
             content,
             make_oob((tvpn, self.seq.next(), PageKind.MAPPING, False)),
@@ -175,7 +208,7 @@ class MappingStore:
             self.tracer.emit(EventType.MAP_WRITE, lpn=tvpn, ppn=ppn)
         old = self.gtd.get(tvpn)
         if old is not None:
-            self.flash.invalidate_page(old)
+            flash.invalidate_page(old)
         self.gtd.set(tvpn, ppn)
         self._cache.put(tvpn, content)
         return latency
@@ -217,6 +250,50 @@ class MappingStore:
             o for o in range(block._write_ptr)
             if pages[o].state is VALID
         ]
+        if tracer is None and flash.maintenance_fast_path():
+            # Inline twin of the loop below: replicates the untraced
+            # raw-op closures' page/stats mutations (see
+            # NandFlash.maintenance_fast_path) without a Python call per
+            # page; float accumulation order matches bit for bit.
+            fstats = flash.stats
+            timing = flash.timing
+            read_us = timing.page_read_us
+            program_us = timing.page_program_us
+            seq = self.seq
+            INVALID = PageState.INVALID
+            MAPPING = PageKind.MAPPING
+            frontier = self._frontier
+            for offset in offsets:
+                spage = pages[offset]
+                content = spage.data
+                tvpn = spage.oob.lpn
+                fstats.page_reads += 1
+                fstats.read_us += read_us
+                latency += read_us
+                stats.map_reads += 1
+                if frontier is None or blocks[frontier]._write_ptr >= ppb:
+                    self._ensure_frontier()  # always returns 0.0
+                    frontier = self._frontier
+                fblock = blocks[frontier]
+                wp = fblock._write_ptr
+                dst = frontier * ppb + wp
+                dpage = fblock.pages[wp]
+                dpage.state = VALID
+                dpage.data = content
+                s = seq._next
+                seq._next = s + 1
+                dpage.oob = make_oob((tvpn, s, MAPPING, False))
+                fblock.note_programmed()
+                fstats.page_programs += 1
+                fstats.program_us += program_us
+                latency += program_us
+                stats.map_writes += 1
+                stats.gc_page_copies += 1
+                gtd_set(tvpn, dst)
+                spage.state = INVALID
+                block.note_invalidated()
+            self._full_blocks.discard(pbn)
+            return latency
         for offset in offsets:
             src = base + offset
             content, oob, read_lat = read_page(src)

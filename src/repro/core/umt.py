@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from array import array
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..flash.geometry import MAP_ENTRY_BYTES
 from ..perf.maptable import UNMAPPED
@@ -99,6 +99,37 @@ class UpdateMappingTable:
                 self._by_tvpn[tvpn] = {lpn}
             else:
                 peers.add(lpn)
+
+    def set_many(
+        self, pairs: "Iterable[Tuple[int, int]]", cold: bool = False
+    ) -> None:
+        """Bulk :meth:`set`: commit one batch-replay epoch's deferred
+        entries in a single pass.
+
+        Equivalent to calling ``set(lpn, ppn, cold)`` per pair: the count
+        and the per-tvpn index update only for previously-absent lpns, so
+        handing in each lpn's *final* epoch mapping produces exactly the
+        state the per-write path would have left.
+        """
+        flag = 1 if cold else 0
+        entries_per_page = self.entries_per_page
+        by_tvpn = self._by_tvpn
+        added = 0
+        for lpn, ppn in pairs:
+            if lpn >= len(self._ppn):
+                self._grow_to(lpn)
+            ppns = self._ppn
+            if ppns[lpn] < 0:
+                added += 1
+                tvpn = lpn // entries_per_page
+                peers = by_tvpn.get(tvpn)
+                if peers is None:
+                    by_tvpn[tvpn] = {lpn}
+                else:
+                    peers.add(lpn)
+            ppns[lpn] = ppn
+            self._cold[lpn] = flag
+        self._count += added
 
     def pop(self, lpn: int) -> Optional[UmtEntry]:
         """Remove and return the entry (None if absent)."""

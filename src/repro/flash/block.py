@@ -146,6 +146,41 @@ class Block:
         self._valid_count -= 1
         return True
 
+    # ------------------------------------------------------------------
+    # Inline-program accounting (the untraced fast paths)
+    # ------------------------------------------------------------------
+    def note_programmed(self) -> None:
+        """Advance the frontier counters for one in-place page program.
+
+        The untraced fast paths (the ``maintenance_fast_path`` replay
+        loops and the batch-replay kernels) program the frontier page by
+        mutating it directly instead of calling :meth:`program` - they
+        have already established the page is FREE and at the write
+        pointer, and they skip the checks to stay cheap.  This is the
+        sanctioned way for them to keep the block counters honest; it is
+        the accounting half of :meth:`program` with the NAND-constraint
+        checks elided.
+        """
+        self._write_ptr += 1
+        self._valid_count += 1
+
+    def note_programmed_run(self, write_ptr: int, added_valid: int) -> None:
+        """Bulk twin of :meth:`note_programmed` for an epoch of programs.
+
+        ``write_ptr`` is the post-run pointer; ``added_valid`` is how
+        many of the newly programmed pages are VALID.
+        """
+        self._write_ptr = write_ptr
+        self._valid_count += added_valid
+
+    def note_invalidated(self) -> None:
+        """Account one in-place VALID -> INVALID page flip.
+
+        Fast-path twin of :meth:`invalidate`: the caller has already
+        checked the page was VALID and flipped its state.
+        """
+        self._valid_count -= 1
+
     def erase(self) -> None:
         """Erase the whole block, resetting every page to FREE."""
         if self._valid_count > 0:

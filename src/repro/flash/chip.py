@@ -270,6 +270,26 @@ class NandFlash:
         d["invalidate_page"] = invalidate_page
         d["block"] = block
 
+    def maintenance_fast_path(self) -> bool:
+        """True when maintenance loops may inline raw page operations.
+
+        GC/conversion relocation loops (and the batch-replay kernels in
+        :mod:`repro.perf.batch`) can skip the per-op call overhead and
+        mutate pages and stats directly - but only when nothing observes
+        the per-op stream: exact :class:`NandFlash` (the flashsan
+        sanitizer subclasses it to audit every raw op), powered, no
+        tracer attached, and the power-fault injector disarmed (fault
+        countdowns must see every program/erase).  Inline sequences
+        replicate the closures' state and stats updates exactly, so
+        eligibility changes speed, never results.
+        """
+        return (
+            type(self) is NandFlash
+            and self._powered
+            and self._tracer is None
+            and self.fault._remaining is None
+        )
+
     # ------------------------------------------------------------------
     # Power management (crash simulation)
     # ------------------------------------------------------------------

@@ -108,7 +108,18 @@ class DftlFTL(FlashTranslationLayer):
         ppn, latency = self._lookup(lpn)
         if ppn is None:
             return HostResult(latency + UNMAPPED_READ_US)
-        data, _, read_lat = self.flash.read_page(ppn)
+        flash = self.flash
+        if self._tracer is None and flash.maintenance_fast_path():
+            # Inline data read (scalar boundary-op hot spot); twin of the
+            # call below (see NandFlash.maintenance_fast_path).
+            ppb = self._pages_per_block
+            page = flash.blocks[ppn // ppb].pages[ppn % ppb]
+            fstats = flash.stats
+            read_us = flash.timing.page_read_us
+            fstats.page_reads += 1
+            fstats.read_us += read_us
+            return HostResult(latency + read_us, page.data)
+        data, _, read_lat = flash.read_page(ppn)
         return HostResult(latency + read_lat, data)
 
     def write(self, lpn: int, data: Any = None) -> HostResult:
@@ -126,7 +137,38 @@ class DftlFTL(FlashTranslationLayer):
         # copy meanwhile (the CMT entry is kept current by GC).
         entry = self._cmt[lpn]  # present: _lookup just inserted/refreshed it
         old_ppn = entry.ppn
-        ppn = active * ppb + flash.blocks[active]._write_ptr
+        block = flash.blocks[active]
+        wp = block._write_ptr
+        ppn = active * ppb + wp
+        if self._tracer is None and flash.maintenance_fast_path():
+            # Inline program + old-copy invalidate (scalar boundary-op
+            # hot spot); twin of the calls below, bit-identical (see
+            # NandFlash.maintenance_fast_path).
+            page = block.pages[wp]
+            page.state = PageState.VALID
+            page.data = data
+            seq = self._seq
+            s = seq._next
+            seq._next = s + 1
+            page.oob = make_oob((lpn, s, PageKind.DATA, False))
+            block.note_programmed()
+            fstats = flash.stats
+            program_us = flash.timing.page_program_us
+            fstats.page_programs += 1
+            fstats.program_us += program_us
+            latency += program_us
+            if old_ppn is not None:
+                oblock = flash.blocks[old_ppn // ppb]
+                opage = oblock.pages[old_ppn % ppb]
+                if opage.state is PageState.VALID:
+                    opage.state = PageState.INVALID
+                    oblock.note_invalidated()
+                else:  # defensive: keep the slow path's accounting
+                    flash.invalidate_page(old_ppn)
+            entry.ppn = ppn
+            entry.dirty = True
+            self._cmt.move_to_end(lpn)
+            return HostResult(latency)
         latency += flash.program_page(
             ppn, data, make_oob((lpn, self._seq.next(), PageKind.DATA, False))
         )
@@ -228,8 +270,42 @@ class DftlFTL(FlashTranslationLayer):
     def _program_tpage(self, tvpn: int, content: List[Optional[int]]) -> float:
         """Write a new version of a translation page and update the GTD."""
         latency = self._ensure_trans_active()
-        ppn = self._frontier(self._trans_active)
-        latency += self.flash.program_page(
+        flash = self.flash
+        trans_active = self._trans_active
+        ppb = self._pages_per_block
+        block = flash.blocks[trans_active]
+        wp = block._write_ptr
+        ppn = trans_active * ppb + wp
+        if self._tracer is None and flash.maintenance_fast_path():
+            # Inline program + displaced-page invalidate (eviction-flush
+            # and GC-commit hot spot); twin of the calls below,
+            # bit-identical (see NandFlash.maintenance_fast_path).
+            page = block.pages[wp]
+            page.state = PageState.VALID
+            page.data = content
+            seq = self._seq
+            s = seq._next
+            seq._next = s + 1
+            page.oob = make_oob((tvpn, s, PageKind.MAPPING, False))
+            block.note_programmed()
+            fstats = flash.stats
+            program_us = flash.timing.page_program_us
+            fstats.page_programs += 1
+            fstats.program_us += program_us
+            latency += program_us
+            self.stats.map_writes += 1
+            old = self._gtd[tvpn]
+            if old is not None:
+                oblock = flash.blocks[old // ppb]
+                opage = oblock.pages[old % ppb]
+                if opage.state is PageState.VALID:
+                    opage.state = PageState.INVALID
+                    oblock.note_invalidated()
+                else:  # defensive: keep the slow path's accounting
+                    flash.invalidate_page(old)
+            self._gtd[tvpn] = ppn
+            return latency
+        latency += flash.program_page(
             ppn,
             content,
             make_oob((tvpn, self._seq.next(), PageKind.MAPPING, False)),
@@ -239,7 +315,7 @@ class DftlFTL(FlashTranslationLayer):
             self._tracer.emit(EventType.MAP_WRITE, lpn=tvpn, ppn=ppn)
         old = self._gtd[tvpn]
         if old is not None:
-            self.flash.invalidate_page(old)
+            flash.invalidate_page(old)
         self._gtd[tvpn] = ppn
         return latency
 
@@ -362,6 +438,52 @@ class DftlFTL(FlashTranslationLayer):
             o for o in range(block._write_ptr)
             if pages[o].state is VALID
         ]
+        if tracer is None and flash.maintenance_fast_path():
+            # Inline twin of the loop below (see
+            # NandFlash.maintenance_fast_path); bit-identical stats and
+            # float accumulation by construction.
+            fstats = flash.stats
+            timing = flash.timing
+            read_us = timing.page_read_us
+            program_us = timing.page_program_us
+            seq = self._seq
+            gtd = self._gtd
+            INVALID = PageState.INVALID
+            MAPPING = PageKind.MAPPING
+            trans_active = self._trans_active
+            for offset in offsets:
+                spage = pages[offset]
+                content = spage.data
+                tvpn = spage.oob.lpn
+                fstats.page_reads += 1
+                fstats.read_us += read_us
+                latency += read_us
+                stats.map_reads += 1
+                if trans_active is None or \
+                        blocks[trans_active]._write_ptr >= ppb:
+                    # _in_gc is set, so this never reclaims: it only
+                    # retires the full block and allocates (returns 0.0).
+                    latency += self._ensure_trans_active()
+                    trans_active = self._trans_active
+                tblock = blocks[trans_active]
+                wp = tblock._write_ptr
+                dst = trans_active * ppb + wp
+                dpage = tblock.pages[wp]
+                dpage.state = VALID
+                dpage.data = content
+                s = seq._next
+                seq._next = s + 1
+                dpage.oob = make_oob((tvpn, s, MAPPING, False))
+                tblock.note_programmed()
+                fstats.page_programs += 1
+                fstats.program_us += program_us
+                latency += program_us
+                stats.map_writes += 1
+                stats.gc_page_copies += 1
+                gtd[tvpn] = dst
+                spage.state = INVALID
+                block.note_invalidated()
+            return latency
         for offset in offsets:
             src = base + offset
             content, oob, read_lat = read_page(src)
@@ -417,6 +539,100 @@ class DftlFTL(FlashTranslationLayer):
         # writes never interleave with a GC pass), so it lives in a local
         # refreshed after that call rather than being re-read per page.
         gc_active = self._gc_active
+        if flash.maintenance_fast_path():
+            # Inline twin of the loop below (see
+            # NandFlash.maintenance_fast_path); bit-identical stats and
+            # float accumulation by construction.
+            fstats = flash.stats
+            timing = flash.timing
+            read_us = timing.page_read_us
+            program_us = timing.page_program_us
+            seq = self._seq
+            seq_val = seq._next
+            INVALID = PageState.INVALID
+            for offset in offsets:
+                spage = pages[offset]
+                fstats.page_reads += 1
+                fstats.read_us += read_us
+                latency += read_us
+                if gc_active is None or blocks[gc_active]._write_ptr >= ppb:
+                    self._gc_destination()  # always returns 0.0
+                    gc_active = self._gc_active
+                lpn = spage.oob.lpn
+                gblock = blocks[gc_active]
+                wp = gblock._write_ptr
+                dst = gc_active * ppb + wp
+                dpage = gblock.pages[wp]
+                dpage.state = VALID
+                dpage.data = spage.data
+                dpage.oob = make_oob((lpn, seq_val, DATA, False))
+                seq_val += 1
+                gblock.note_programmed()
+                fstats.page_programs += 1
+                fstats.program_us += program_us
+                latency += program_us
+                spage.state = INVALID
+                block.note_invalidated()
+                stats.gc_page_copies += 1
+                moved_setdefault(
+                    lpn // entries_per_page, []
+                ).append((lpn, dst))
+            seq._next = seq_val
+            # Inline twin of the moved-commit loop below: _load_tpage and
+            # _program_tpage fold into this pass (no per-tpage Python
+            # call), with identical stats and float-accumulation order.
+            gtd = self._gtd
+            cmt_get = self._cmt.get
+            trans_active = self._trans_active
+            MAPPING = PageKind.MAPPING
+            for tvpn, pairs in moved.items():
+                tppn = gtd[tvpn]
+                if tppn is None:
+                    content = [None] * entries_per_page
+                else:
+                    tpage = blocks[tppn // ppb].pages[tppn % ppb]
+                    fstats.page_reads += 1
+                    fstats.read_us += read_us
+                    stats.map_reads += 1
+                    content = list(tpage.data)
+                    latency += read_us
+                for lpn, dst in pairs:
+                    content[lpn % entries_per_page] = dst
+                    entry = cmt_get(lpn)
+                    if entry is not None:
+                        entry.ppn = dst
+                        entry.dirty = False
+                if trans_active is None \
+                        or blocks[trans_active]._write_ptr >= ppb:
+                    # In-GC the reclaim is skipped (reserve covers the
+                    # allocation), so this only pulls a pool block.
+                    latency += self._ensure_trans_active()
+                    trans_active = self._trans_active
+                tblock = blocks[trans_active]
+                wp = tblock._write_ptr
+                ppn = trans_active * ppb + wp
+                page = tblock.pages[wp]
+                page.state = VALID
+                page.data = content
+                s = seq._next
+                seq._next = s + 1
+                page.oob = make_oob((tvpn, s, MAPPING, False))
+                tblock.note_programmed()
+                fstats.page_programs += 1
+                fstats.program_us += program_us
+                latency += program_us
+                stats.map_writes += 1
+                old = gtd[tvpn]
+                if old is not None:
+                    oblock = blocks[old // ppb]
+                    opage = oblock.pages[old % ppb]
+                    if opage.state is VALID:
+                        opage.state = INVALID
+                        oblock.note_invalidated()
+                    else:  # defensive: keep the slow path's accounting
+                        invalidate_page(old)
+                gtd[tvpn] = ppn
+            return latency
         for offset in offsets:
             src = base + offset
             data, oob, read_lat = read_page(src)

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from array import array
 from collections import OrderedDict
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 #: Sentinel stored in :attr:`MapTable.raw` for an unmapped entry.
 UNMAPPED = -1
@@ -102,6 +102,20 @@ class MapTable:
             if value >= 0:
                 yield index, value
 
+    def set_many(self, pairs: "Iterable[Tuple[int, int]]") -> None:
+        """Bulk assignment of ``(index, ppn)`` pairs.
+
+        The batch-replay executors resolve an epoch's final mapping per
+        lpn (last write wins) and commit the whole set here in one pass
+        over the raw array.  Values must be real mappings (``>= 0``);
+        unmapping stays per-index via ``table[i] = None``.
+        """
+        raw = self.raw
+        for index, value in pairs:
+            if value < 0:
+                raise ValueError("mapped values must be non-negative")
+            raw[index] = value
+
     def mapped_count(self) -> int:
         """Number of live (mapped) entries."""
         return sum(1 for value in self.raw if value >= 0)
@@ -171,6 +185,20 @@ class LruCache:
         data[key] = value
         while len(data) > self.capacity:
             data.popitem(last=False)
+
+    def touch_many(self, keys: Iterable[int]) -> None:
+        """Replay a sequence of hits' recency updates in access order.
+
+        Equivalent to the ``move_to_end`` that :meth:`get` performs on
+        each hit, applied in the same order - the batch-replay executors
+        collect an epoch's cache hits and commit the LRU reordering here
+        in one pass.  Unknown keys are ignored (a miss moves nothing).
+        """
+        data = self._data
+        move_to_end = data.move_to_end
+        for key in keys:
+            if key in data:
+                move_to_end(key)
 
     def keys(self):
         """Keys in eviction order (least-recent first)."""

@@ -9,7 +9,12 @@ from __future__ import annotations
 
 import math
 from array import array
-from typing import Dict, List
+from typing import Any, Dict, List
+
+try:  # numpy accelerates the bulk paths; everything works without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the fallback tests
+    _np = None  # type: ignore[assignment]
 
 
 class LatencyDistribution:
@@ -51,6 +56,91 @@ class LatencyDistribution:
             self._min = value
         if value > self._max:
             self._max = value
+
+    def add_many(self, values: Any) -> None:
+        """Bulk :meth:`add`: one epoch's samples in one call.
+
+        Bit-identical to adding each value in order - the running total
+        accumulates strictly sequentially (``np.add.accumulate``, never
+        the pairwise ``np.add.reduce``), min/max/sortedness update to the
+        same results, and validation still rejects non-finite or negative
+        samples before any state changes.  Accepts a numpy array (the
+        vectorized path) or any float sequence (pure-Python path), so the
+        batch engine's fallback backend exercises no numpy at all.
+        """
+        if len(values) == 0:
+            return
+        if _np is not None and isinstance(values, _np.ndarray):
+            if values.dtype != _np.float64:
+                values = values.astype(_np.float64)
+            if not bool(_np.isfinite(values).all()):
+                raise ValueError("latency samples must be finite")
+            if bool((values < 0).any()):
+                raise ValueError("latency samples must be non-negative")
+        else:
+            isfinite = math.isfinite
+            for value in values:  # validate before mutating anything
+                if not isfinite(value):
+                    raise ValueError(
+                        f"latency samples must be finite, got {value!r}"
+                    )
+                if value < 0:
+                    raise ValueError("latency samples must be non-negative")
+        self._extend_unchecked(values)
+
+    def _extend_unchecked(self, values: Any) -> None:
+        """The mutation half of :meth:`add_many`, without validation.
+
+        Internal: callers (``add_many`` and
+        :meth:`ResponseStats.record_many`) have already established every
+        value is finite and non-negative, so the batch is applied without
+        re-walking it - ``record_many`` would otherwise validate each
+        response up to three times (overall + per-type distributions).
+        """
+        n = len(values)
+        samples = self._samples
+        if _np is not None and isinstance(values, _np.ndarray):
+            if self._sorted:
+                if (samples and values[0] < samples[-1]) or (
+                    n > 1 and bool((values[1:] < values[:-1]).any())
+                ):
+                    self._sorted = False
+            acc = _np.empty(n + 1)
+            acc[0] = self._total
+            acc[1:] = values
+            _np.add.accumulate(acc, out=acc)
+            self._total = float(acc[n])
+            lo = float(values.min())
+            hi = float(values.max())
+            if lo < self._min:
+                self._min = lo
+            if hi > self._max:
+                self._max = hi
+            samples.frombytes(
+                values.tobytes() if values.flags["C_CONTIGUOUS"]
+                else _np.ascontiguousarray(values).tobytes()
+            )
+            return
+        total = self._total
+        lo = self._min
+        hi = self._max
+        is_sorted = self._sorted
+        last = samples[-1] if samples else None
+        append = samples.append
+        for value in values:
+            if is_sorted and last is not None and value < last:
+                is_sorted = False
+            last = value
+            append(value)
+            total += value
+            if value < lo:
+                lo = value
+            if value > hi:
+                hi = value
+        self._total = total
+        self._min = lo
+        self._max = hi
+        self._sorted = is_sorted
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -140,6 +230,57 @@ class ResponseStats:
             self.writes.add(response_us)
         else:
             self.reads.add(response_us)
+
+    def record_many(self, ops: Any, responses: Any) -> None:
+        """Bulk :meth:`record` for one replay epoch.
+
+        ``ops`` is the epoch's slice of the columnar op codes (truthy =
+        write) and ``responses`` its response times, same length.  Every
+        distribution receives its subsequence in trace order, so the
+        result is bit-identical to recording one response at a time.
+        Validation (finite, non-negative) runs once over the batch; the
+        three distributions then extend unchecked.
+        """
+        if len(responses) == 0:
+            return
+        if _np is not None and isinstance(responses, _np.ndarray):
+            if responses.dtype != _np.float64:
+                responses = responses.astype(_np.float64)
+            if not bool(_np.isfinite(responses).all()):
+                raise ValueError("latency samples must be finite")
+            if bool((responses < 0).any()):
+                raise ValueError("latency samples must be non-negative")
+            op_codes = _np.frombuffer(ops, dtype=_np.int8) \
+                if not isinstance(ops, _np.ndarray) else ops
+            self.overall._extend_unchecked(responses)
+            writes_mask = op_codes != 0
+            write_vals = responses[writes_mask]
+            read_vals = responses[~writes_mask]
+            if len(write_vals):
+                self.writes._extend_unchecked(write_vals)
+            if len(read_vals):
+                self.reads._extend_unchecked(read_vals)
+            return
+        isfinite = math.isfinite
+        for value in responses:
+            if not isfinite(value):
+                raise ValueError(
+                    f"latency samples must be finite, got {value!r}"
+                )
+            if value < 0:
+                raise ValueError("latency samples must be non-negative")
+        self.overall._extend_unchecked(responses)
+        write_vals = array("d")
+        read_vals = array("d")
+        for op, value in zip(ops, responses):
+            if op:
+                write_vals.append(value)
+            else:
+                read_vals.append(value)
+        if write_vals:
+            self.writes._extend_unchecked(write_vals)
+        if read_vals:
+            self.reads._extend_unchecked(read_vals)
 
     def summary(self) -> Dict[str, Dict[str, float]]:
         return {

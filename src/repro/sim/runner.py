@@ -92,6 +92,7 @@ def run_scheme(
     precondition: bool = True,
     tracer: Optional[Tracer] = None,
     sanitize: bool = False,
+    replay_mode: Optional[str] = None,
     **options: Any,
 ) -> SimulationResult:
     """Run one scheme over one trace on a fresh device.
@@ -108,6 +109,9 @@ def run_scheme(
             :mod:`repro.checks`): every raw op is validated as it happens
             and a full mapping audit runs after the measured trace; the
             first violation raises :class:`repro.checks.SanitizerViolation`.
+        replay_mode: Passed to :class:`~repro.sim.simulator.Simulator`
+            (``auto``/``scalar``/``batched``); None uses the simulator's
+            default (the ``REPRO_REPLAY_MODE`` environment, then auto).
     """
     device = device if device is not None else DeviceSpec()
     opts = dict(DEFAULT_OPTIONS.get(scheme, {}))
@@ -139,7 +143,7 @@ def run_scheme(
                 name="steady-warmup",
             )
             warmup = merge_traces([warmup, overwrites], name="warmup")
-    simulator = Simulator(ftl, tracer=tracer)
+    simulator = Simulator(ftl, tracer=tracer, replay_mode=replay_mode)
     result = simulator.run(trace, warmup=warmup)
     if sanitize:
         # Post-run full-state audit: mapping invariants must hold at rest.

@@ -13,6 +13,7 @@ evaluation): the device serves one request at a time (FCFS).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from itertools import repeat
 from typing import Dict, Optional
@@ -21,9 +22,19 @@ from ..flash.stats import FlashStats, wear_summary
 from ..ftl.base import FlashTranslationLayer
 from ..ftl.stats import FtlStats
 from ..obs.tracer import Tracer
+from ..perf import batch as _batch
 from ..traces.columnar import NO_ARRIVAL
 from ..traces.model import Trace
 from .metrics import ResponseStats
+
+#: Replay-mode selection: ``auto`` engages the epoch-segmented batch
+#: kernels (repro.perf.batch) whenever the scheme/device is eligible,
+#: ``scalar`` forces the per-request loop, ``batched`` documents intent
+#: (identical to auto: ineligible schemes still fall back to scalar).
+REPLAY_MODES = ("auto", "scalar", "batched")
+
+#: Environment override for the default replay mode.
+REPLAY_MODE_ENV = "REPRO_REPLAY_MODE"
 
 
 @dataclass
@@ -86,21 +97,44 @@ class Simulator:
             events are emitted per page operation, and the result carries
             a per-cause time attribution.  When None (the default) the
             whole replay path is tracing-free.
+        replay_mode: One of :data:`REPLAY_MODES`; None reads the
+            ``REPRO_REPLAY_MODE`` environment variable (default
+            ``auto``).  Traced replays always run scalar regardless.
     """
 
     def __init__(
         self,
         ftl: FlashTranslationLayer,
         tracer: Optional[Tracer] = None,
+        replay_mode: Optional[str] = None,
     ):
         self.ftl = ftl
         self.tracer = tracer
+        if replay_mode is None:
+            replay_mode = os.environ.get(REPLAY_MODE_ENV, "auto")
+        if replay_mode not in REPLAY_MODES:
+            raise ValueError(
+                f"replay_mode must be one of {REPLAY_MODES}, "
+                f"got {replay_mode!r}"
+            )
+        self.replay_mode = replay_mode
         if tracer is not None:
             ftl.attach_tracer(tracer)
 
     def warm_up(self, trace: Trace) -> None:
-        """Run a trace without recording statistics (pre-conditioning)."""
+        """Run a trace without recording statistics (pre-conditioning).
+
+        Reuses the batch-replay kernels (untimed) when eligible, so the
+        warm-up path shares one dispatch implementation with
+        :meth:`_replay_batched` instead of duplicating the scalar
+        columnar loop.
+        """
         cols = trace.to_columnar()
+        if self.tracer is None and self.replay_mode != "scalar":
+            engine = _batch.engine_for(self.ftl)
+            if engine is not None:
+                engine.warm(cols)
+                return
         ftl_write = self.ftl.write
         ftl_read = self.ftl.read
         for op, lpn, npages in zip(cols.ops, cols.lpns, cols.npages):
@@ -149,7 +183,7 @@ class Simulator:
             busy = self._replay_traced(trace, responses, tracer)
             attribution = tracer.attribution.scheme_summary(self.ftl.name)
         else:
-            busy = self._replay_fast(trace, responses)
+            busy = self._replay_batched(trace, responses)
             attribution = None
         return SimulationResult(
             scheme=self.ftl.name,
@@ -164,6 +198,25 @@ class Simulator:
             device_busy_us=busy,
             attribution=attribution,
         )
+
+    def _replay_batched(self, trace: Trace, responses: ResponseStats) -> float:
+        """Untraced replay through the epoch-segmented batch engine.
+
+        Delegates to :mod:`repro.perf.batch` when the scheme registers an
+        epoch planner and the device is eligible (exact
+        :class:`~repro.flash.chip.NandFlash`, fault injector disarmed,
+        integer-valued timing); everything else - including
+        ``replay_mode="scalar"`` - runs :meth:`_replay_fast`.  Both paths
+        produce bit-identical statistics (the golden-stats gate runs once
+        per replay mode).
+        """
+        if self.replay_mode != "scalar":
+            engine = _batch.engine_for(self.ftl)
+            if engine is not None:
+                cols = trace.to_columnar()
+                if engine.supports(cols):
+                    return engine.replay(cols, responses)
+        return self._replay_fast(trace, responses)
 
     def _replay_fast(self, trace: Trace, responses: ResponseStats) -> float:
         """Untraced replay: zero observability work on the per-op path.

@@ -1,0 +1,38 @@
+# scope: perf
+"""Known-bad: numpy misuse and allocation inside a marked hot kernel.
+
+Per-element indexing into a numpy array boxes a Python float per
+access; ``np.append`` reallocates the whole array per call; a CapWord
+constructor allocates an object per iteration.  Slices, exception
+constructors under ``raise``, and lowercase factory calls stay clean.
+"""
+
+import numpy as np
+
+
+class Record:
+    def __init__(self, value):
+        self.value = value
+
+
+def make_entry(value):
+    return (value,)
+
+
+class Kernel:
+    # flowlint: hot
+    def drain(self, latencies, limit):
+        services = np.cumsum(latencies)
+        buf = np.zeros(4)
+        total = 0.0
+        out = []
+        for k in range(limit):
+            total += services[k]  # expect: FTL013
+            services[k] = 0.0  # expect: FTL013
+            buf = np.append(buf, total)  # expect: FTL013
+            out.append(Record(total))  # expect: FTL013
+            out.append(make_entry(total))
+            if total < 0:
+                raise ValueError("negative service time")
+        tail = services[-4:]
+        return total, buf, out, tail

@@ -189,6 +189,36 @@ class TestFrontierEscape:
                     return ppn
         """, "FTL010") == []
 
+    def test_inline_oob_stamp_counts_as_program(self):
+        # The untraced fast paths program in place: the page is indexed
+        # by the same write pointer that forms the PPN, and stamping its
+        # OOB is the program step.
+        assert flagged("""
+            class M:
+                def write(self, block, data, lpn):
+                    wp = block.write_ptr
+                    ppn = self.frontier * self.pages_per_block + wp
+                    page = block.pages[wp]
+                    page.state = VALID
+                    page.data = data
+                    page.oob = make_oob(lpn, self.seq)
+                    self.umt.set(lpn, ppn)
+                    return ppn
+        """, "FTL010") == []
+
+    def test_oob_stamp_on_unrelated_page_earns_no_credit(self):
+        # OOB written to a page indexed by something other than the
+        # frontier's write pointer does not program the frontier PPN.
+        assert flagged("""
+            class M:
+                def write(self, block, data, lpn, other):
+                    wp = block.write_ptr
+                    ppn = self.frontier * self.pages_per_block + wp
+                    page = block.pages[other]
+                    page.oob = make_oob(lpn, self.seq)
+                    self.umt.set(lpn, ppn)
+        """, "FTL010") == [(8, "FTL010")]
+
 
 # ----------------------------------------------------------------------
 # FTL010 sub-check C: erase with relocation evidence

@@ -21,6 +21,7 @@ import pathlib
 
 import pytest
 
+from repro.perf import batch
 from repro.sim.factory import SCHEMES
 from repro.sim.golden import (
     GOLDEN_DEVICE,
@@ -49,18 +50,33 @@ def test_snapshot_covers_every_scheme_and_trace(golden):
     assert set(golden) == expected
 
 
+#: The gate runs once per replay mode: the scalar loop, the batch
+#: engine on its default (numpy) kernels, and the batch engine on the
+#: pure-``array`` fallback kernels - all three must reproduce the
+#: committed snapshot bit for bit.
+REPLAY_GATES = ("scalar", "batched", "batched-fallback")
+
+
+@pytest.mark.parametrize("gate", REPLAY_GATES)
 @pytest.mark.parametrize("scheme", SCHEMES)
-def test_scheme_stats_bit_identical(golden, scheme):
+def test_scheme_stats_bit_identical(golden, scheme, gate):
     """Each scheme's digests match the snapshot exactly, per trace."""
-    for trace in golden_traces():
-        key = f"{scheme}/{trace.name}"
-        live = engine_digest(run_scheme(
-            scheme, trace, device=GOLDEN_DEVICE, precondition="steady",
-        ))
-        assert live == golden[key], (
-            f"{key}: engine statistics drifted from the golden snapshot - "
-            "a hot-path change altered modeled behaviour"
-        )
+    if gate == "batched-fallback":
+        batch.set_backend("fallback")
+    try:
+        for trace in golden_traces():
+            key = f"{scheme}/{trace.name}"
+            live = engine_digest(run_scheme(
+                scheme, trace, device=GOLDEN_DEVICE, precondition="steady",
+                replay_mode="scalar" if gate == "scalar" else "batched",
+            ))
+            assert live == golden[key], (
+                f"{key} [{gate}]: engine statistics drifted from the "
+                "golden snapshot - a hot-path change altered modeled "
+                "behaviour"
+            )
+    finally:
+        batch.set_backend("auto")
 
 
 def test_collector_key_shape(golden):

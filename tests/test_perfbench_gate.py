@@ -1,0 +1,111 @@
+"""The perfbench regression gate's machine-regime normalization.
+
+The shared box drifts between speed regimes that move every cell by
+30-40%; ``check()`` scales the committed baselines by the canary ratio
+(clamped to <= 1.0) so a slow regime is forgiven while a fast regime
+never loosens the gate.  These tests pin that arithmetic with the
+canary and BENCH file stubbed out - no benchmark subprocesses run.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+_spec = importlib.util.spec_from_file_location(
+    "perfbench", _ROOT / "benchmarks" / "perfbench.py"
+)
+perfbench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(perfbench)
+
+
+def _bench(canary=1_000_000):
+    data = {
+        "after": {
+            "smoke": {
+                "macro:DFTL": {"ops_per_sec": 100_000.0, "page_ops": 1000},
+            },
+        },
+    }
+    if canary is not None:
+        data["canary"] = {"smoke": canary}
+    return data
+
+
+@pytest.fixture
+def gate(monkeypatch):
+    def configure(canary_recorded, canary_now):
+        monkeypatch.setattr(
+            perfbench, "_load_bench", lambda: _bench(canary_recorded)
+        )
+        monkeypatch.setattr(
+            perfbench, "_canary_score", lambda repeats=5: canary_now
+        )
+    return configure
+
+
+def _cells(ops_per_sec):
+    return {"macro:DFTL": {"ops_per_sec": ops_per_sec, "page_ops": 1000}}
+
+
+def test_uniform_slow_regime_is_forgiven(gate):
+    # Box at 65% speed; the cell fell in lockstep (-32% raw, which would
+    # blow the 15% threshold unscaled).
+    gate(1_000_000, 650_000.0)
+    assert perfbench.check("smoke", _cells(68_000.0)) == 0
+
+
+def test_real_regression_still_fails_in_slow_regime(gate):
+    # Scaled baseline is 65k; a cell at 40k is a genuine engine loss.
+    gate(1_000_000, 650_000.0)
+    assert perfbench.check("smoke", _cells(40_000.0)) == 1
+
+
+def test_fast_regime_never_loosens_the_gate(gate):
+    # Canary doubled but the scale clamps at 1.0: a 20% cell drop still
+    # fails even though the "regime-adjusted" machine could excuse it.
+    gate(1_000_000, 2_000_000.0)
+    assert perfbench.check("smoke", _cells(80_000.0)) == 1
+
+
+def test_check_cells_names_the_failures(gate):
+    gate(1_000_000, 650_000.0)
+    assert perfbench.check_cells("smoke", _cells(40_000.0)) == ["macro:DFTL"]
+    assert perfbench.check_cells("smoke", _cells(68_000.0)) == []
+
+
+def test_missing_canary_compares_raw(gate):
+    # Pre-canary BENCH files keep the old absolute comparison.
+    gate(None, 650_000.0)
+    assert perfbench.check("smoke", _cells(99_000.0)) == 0
+    assert perfbench.check("smoke", _cells(68_000.0)) == 1
+
+
+def test_gate_section_preferred_over_speedup_record(monkeypatch):
+    # The after/before sections keep best-of-fast-regime numbers for
+    # speedup reporting; the gate compares against its own calibrated
+    # typical-conditions medians when present.
+    data = _bench()
+    data["gate"] = {
+        "smoke": {
+            "canary": 700_000,
+            "cells": {"macro:DFTL": 70_000.0},
+            "rounds": 7,
+        },
+    }
+    monkeypatch.setattr(perfbench, "_load_bench", lambda: data)
+    monkeypatch.setattr(perfbench, "_canary_score", lambda repeats=5: 700_000.0)
+    # 65k vs the 100k speedup-record baseline would fail; vs the 70k
+    # calibrated gate baseline it is well inside the threshold.
+    assert perfbench.check("smoke", _cells(65_000.0)) == 0
+    assert perfbench.check("smoke", _cells(55_000.0)) == 1
+
+
+def test_recording_after_stamps_the_canary(monkeypatch, tmp_path):
+    bench = tmp_path / "BENCH.json"
+    monkeypatch.setattr(perfbench, "BENCH_PATH", bench)
+    monkeypatch.setattr(perfbench, "_canary_score", lambda repeats=5: 123_456.7)
+    perfbench.record("after", "smoke", _cells(100_000.0))
+    data = perfbench._load_bench()
+    assert data["canary"]["smoke"] == 123457

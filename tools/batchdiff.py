@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""batchdiff - scalar vs batched replay equivalence smoke.
+
+The batch-replay engine (``repro.perf.batch``) promises *bit-identical*
+modeled statistics to the scalar replay loop: epoch kernels only
+vectorise stretches the planner proved free of GC/boundary work, and
+float accumulation order is preserved.  This tool audits that promise
+end-to-end: every scheme replays the same deterministic workloads three
+ways - scalar, batched with the numpy kernels (when numpy is
+installed), and batched with the pure ``array`` fallback kernels - and
+the full :func:`repro.sim.golden.engine_digest` (flash counters, FTL
+stats, response-time summary, wear map, RAM model, busy time) must
+compare equal with ``==``.
+
+Schemes without an epoch planner silently take the scalar path under
+``replay_mode="batched"`` (the engine declines), so running the whole
+zoo also guards the dispatch gating itself.
+
+Run:  PYTHONPATH=src python tools/batchdiff.py [--requests N]
+Exit status 0 when every digest matches, 1 on the first divergence
+(the differing digest keys are printed).
+
+``tools/check_all.py`` runs this as the ``batchdiff`` stage with
+``[tool.check_all] batchdiff_requests`` from pyproject.toml.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+from typing import Dict, List, Tuple
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.perf import batch  # noqa: E402
+from repro.sim.factory import SCHEMES  # noqa: E402
+from repro.sim.golden import engine_digest  # noqa: E402
+from repro.sim.runner import DeviceSpec, run_scheme  # noqa: E402
+from repro.traces.synthetic import hot_cold, uniform_random  # noqa: E402
+
+#: Same smoke geometry as the check_all trace stage: small enough that
+#: the whole zoo replays in seconds, small enough that GC and (for
+#: LazyFTL) conversions fire within a few hundred operations - so the
+#: scalar boundary path interleaves with the vectorized epochs instead
+#: of one mode trivially covering the run.
+DEVICE = DeviceSpec(
+    num_blocks=96, pages_per_block=16, page_size=512, logical_fraction=0.7
+)
+
+
+def build_traces(requests: int) -> List:
+    """Two deterministic workloads bracketing the epoch planner.
+
+    The read-heavy hot/cold mix produces long vectorizable epochs (the
+    fast path the kernels exist for); the write-heavy uniform mix keeps
+    GC churning so nearly every epoch ends at a boundary op.
+    """
+    pages = DEVICE.logical_pages
+    return [
+        hot_cold(
+            requests, pages, write_ratio=0.15, hot_fraction=0.2,
+            hot_probability=0.9, seed=23, name="batchdiff-readheavy",
+        ),
+        uniform_random(
+            requests, pages, write_ratio=0.7, seed=13,
+            name="batchdiff-writeheavy",
+        ),
+    ]
+
+
+def digest_for(scheme: str, trace, replay_mode: str) -> Dict[str, object]:
+    result = run_scheme(
+        scheme, trace, device=DEVICE, precondition="steady",
+        replay_mode=replay_mode,
+    )
+    return engine_digest(result)
+
+
+def diff_keys(a: Dict[str, object], b: Dict[str, object]) -> List[str]:
+    return [key for key in a if a[key] != b.get(key)]
+
+
+def run_diff(requests: int, schemes: Tuple[str, ...]) -> int:
+    backends = ["fallback"]
+    if batch._numpy is not None:
+        backends.insert(0, "numpy")
+    failures = 0
+    for trace in build_traces(requests):
+        for scheme in schemes:
+            batch.set_backend("auto")
+            reference = digest_for(scheme, trace, "scalar")
+            verdicts = []
+            for backend in backends:
+                batch.set_backend(backend)
+                try:
+                    candidate = digest_for(scheme, trace, "batched")
+                finally:
+                    batch.set_backend("auto")
+                mismatched = diff_keys(reference, candidate)
+                if mismatched:
+                    failures += 1
+                    verdicts.append(f"{backend}:DIVERGED({','.join(mismatched)})")
+                else:
+                    verdicts.append(f"{backend}:ok")
+            print(f"{trace.name:22s} {scheme:11s} {'  '.join(verdicts)}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="batchdiff", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--requests", type=int, default=600,
+        help="host requests per workload (default 600)",
+    )
+    parser.add_argument(
+        "--schemes", default=",".join(SCHEMES),
+        help="comma-separated scheme subset (default: the whole zoo)",
+    )
+    args = parser.parse_args(argv)
+    schemes = tuple(name for name in args.schemes.split(",") if name)
+    unknown = [name for name in schemes if name not in SCHEMES]
+    if unknown:
+        parser.error(f"unknown scheme(s): {', '.join(unknown)}")
+    if os.environ.get(batch.FALLBACK_ENV):
+        print(f"note: {batch.FALLBACK_ENV} is set; numpy kernels are "
+              "exercised anyway via set_backend")
+    failures = run_diff(args.requests, schemes)
+    if failures:
+        print(f"batchdiff: FAILED ({failures} divergent digest(s))")
+        return 1
+    print(f"batchdiff: all digests bit-identical "
+          f"({len(schemes)} scheme(s), scalar vs batched, "
+          f"{'numpy+fallback' if batch._numpy is not None else 'fallback'} "
+          "kernels)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,7 +24,11 @@ Runs, in order:
    the smoke throughput suite and fails when any cell regresses more
    than ``[tool.perfbench] max_regression_pct`` against the committed
    ``BENCH_pr3.json`` 'after' baseline;
-8. **crashmc** - ``python -m repro crashcheck``: crash-consistency
+8. **batchdiff** - ``tools/batchdiff.py``: scalar vs batched replay
+   digests over two short deterministic workloads for every scheme,
+   with both kernel backends (numpy and the pure-``array`` fallback) -
+   the batch engine's bit-identical contract, end to end;
+9. **crashmc** - ``python -m repro crashcheck``: crash-consistency
    smoke (every program/erase boundary of a short mixed workload for
    each recovery-capable scheme, plus the ``--mutate`` oracle
    self-test).
@@ -58,7 +62,7 @@ except ModuleNotFoundError:  # Python < 3.11
     tomllib = None
 
 STEPS = ("ftlint", "flowlint", "pytest", "mypy", "trace", "report",
-         "perfbench", "crashmc")
+         "perfbench", "batchdiff", "crashmc")
 
 #: The CFG/dataflow rule ids (kept in sync with
 #: ``repro.checks.lint.FLOW_RULE_IDS``; this module stays stdlib-only
@@ -74,6 +78,7 @@ def load_config() -> dict:
         "trace_requests": 300,
         "report_requests": 2000,
         "crashmc_ops": 120,
+        "batchdiff_requests": 600,
     }
     pyproject = _REPO_ROOT / "pyproject.toml"
     if tomllib is None or not pyproject.is_file():
@@ -191,6 +196,16 @@ def step_perfbench(config: dict) -> bool:
     ])
 
 
+def step_batchdiff(config: dict) -> bool:
+    """Batch-replay equivalence smoke: every scheme's modeled statistics
+    must be bit-identical between scalar and batched replay, on both
+    kernel backends.  See tools/batchdiff.py."""
+    return run_step("batchdiff", [
+        sys.executable, str(_REPO_ROOT / "tools" / "batchdiff.py"),
+        "--requests", str(config["batchdiff_requests"]),
+    ])
+
+
 def step_crashmc(config: dict) -> bool:
     """Crash-consistency smoke: explore every boundary of a short mixed
     workload for each recovery-capable scheme, then run the --mutate
@@ -219,6 +234,7 @@ RUNNERS = {
     "trace": step_trace,
     "report": step_report,
     "perfbench": step_perfbench,
+    "batchdiff": step_batchdiff,
     "crashmc": step_crashmc,
 }
 
