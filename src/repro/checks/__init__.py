@@ -14,7 +14,12 @@ guards and which paper claim it backs.
 """
 
 from .auditors import audit_ftl
-from .flashsan import SanitizedFTL, SanitizedNandFlash, audit_latency
+from .flashsan import (
+    SanitizedFTL,
+    SanitizedNandFlash,
+    SanitizedParallelNandFlash,
+    audit_latency,
+)
 from .report import (
     AuditReport,
     OpHistory,
@@ -29,6 +34,7 @@ __all__ = [
     "audit_latency",
     "SanitizedFTL",
     "SanitizedNandFlash",
+    "SanitizedParallelNandFlash",
     "AuditReport",
     "OpHistory",
     "OpRecord",

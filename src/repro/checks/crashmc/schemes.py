@@ -15,7 +15,12 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from ...core import LazyConfig, LazyFTL
-from ...flash import FlashGeometry, NandFlash, UNIT_TIMING
+from ...flash import (
+    FlashGeometry,
+    NandFlash,
+    ParallelNandFlash,
+    UNIT_TIMING,
+)
 from ...ftl import FlashTranslationLayer
 from ...ftl.pure_page import PageFTL
 from ...sim.factory import build_ftl
@@ -38,16 +43,35 @@ class DeviceParams:
     pages_per_block: int = 8
     page_size: int = 64
     logical_pages: int = 96
+    channels: int = 1
+    dies: int = 1
+    planes: int = 1
 
     def key(self) -> str:
-        return (f"{self.num_blocks}x{self.pages_per_block}"
+        """Stable textual form; round-trips through :meth:`parse`.
+
+        Serial devices keep the historical ``NxPxS/L`` form so existing
+        reproducer strings stay valid; parallel geometry appends an
+        ``@CxDxP`` suffix.
+        """
+        base = (f"{self.num_blocks}x{self.pages_per_block}"
                 f"x{self.page_size}/{self.logical_pages}")
+        if (self.channels, self.dies, self.planes) != (1, 1, 1):
+            base += f"@{self.channels}x{self.dies}x{self.planes}"
+        return base
 
     @classmethod
     def parse(cls, text: str) -> "DeviceParams":
+        text, _, parallelism = text.partition("@")
         geo, _, logical = text.partition("/")
         nb, pp, ps = geo.split("x")
-        return cls(int(nb), int(pp), int(ps), int(logical))
+        channels = dies = planes = 1
+        if parallelism:
+            channels, dies, planes = (
+                int(part) for part in parallelism.split("x")
+            )
+        return cls(int(nb), int(pp), int(ps), int(logical),
+                   channels, dies, planes)
 
 
 DEFAULT_DEVICE = DeviceParams()
@@ -72,8 +96,13 @@ def build_instance(
         num_blocks=device.num_blocks,
         pages_per_block=device.pages_per_block,
         page_size=device.page_size,
+        channels=device.channels,
+        dies=device.dies,
+        planes=device.planes,
     )
-    flash = NandFlash(geometry, timing=UNIT_TIMING)
+    device_cls = ParallelNandFlash if geometry.parallel_units > 1 \
+        else NandFlash
+    flash = device_cls(geometry, timing=UNIT_TIMING)
     if scheme == "LazyFTL":
         config = LazyConfig(
             uba_blocks=4,

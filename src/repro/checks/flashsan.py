@@ -27,6 +27,7 @@ from typing import Any, Dict, Iterable, Optional, Tuple
 
 from ..flash.chip import NandFlash
 from ..flash.geometry import FlashGeometry
+from ..flash.parallel import ParallelNandFlash
 from ..flash.oob import OOBData
 from ..flash.timing import SLC_TIMING, TimingModel
 from ..ftl.base import FlashTranslationLayer, HostResult
@@ -215,6 +216,16 @@ class SanitizedNandFlash(NandFlash):
         super().invalidate_page(ppn)
         self.history.record("invalidate", pbn, offset,
                             page.oob.lpn if page.oob is not None else None)
+
+
+class SanitizedParallelNandFlash(SanitizedNandFlash, ParallelNandFlash):
+    """Audited multi-channel device: sanitizer checks + overlap timing.
+
+    Cooperative MRO composition: each audited op runs the sanitizer's
+    pre-checks first, then :class:`ParallelNandFlash` performs the op and
+    rewrites the returned latency to its overlap-adjusted delta.  No body
+    needed - both parents delegate through ``super()``.
+    """
 
 
 def audit_latency(recorder: Any) -> list:

@@ -34,11 +34,13 @@ from .checks import SanitizerViolation
 from .checks.crashmc import (
     CRASH_SCHEMES,
     CrashCase,
+    DeviceParams,
     check_case,
     count_boundaries,
     explore,
     shrink,
 )
+from .flash.geometry import parse_parallelism
 from .obs import JsonlSink, Tracer
 from .perf.sweep import SweepWorkerError
 from .sim import HEADLINE_DEVICE, SCHEMES, DeviceSpec, compare_schemes
@@ -73,11 +75,15 @@ _GENERATORS = {
 
 
 def _device_from_args(args: argparse.Namespace) -> DeviceSpec:
+    channels, dies, planes = parse_parallelism(args.geometry)
     return DeviceSpec(
         num_blocks=args.blocks,
         pages_per_block=args.pages_per_block,
         page_size=args.page_size,
         logical_fraction=args.logical_fraction,
+        channels=channels,
+        dies=dies,
+        planes=planes,
     )
 
 
@@ -85,6 +91,16 @@ def _trace_from_args(args: argparse.Namespace, device: DeviceSpec) -> Trace:
     footprint = int(device.logical_pages * args.footprint_fraction)
     generator = _GENERATORS[args.trace]
     return generator(args.requests, footprint, args.seed)
+
+
+def _geometry_spec(text: str) -> str:
+    # Validate at parse time so a bad spec is a usage error, not a
+    # traceback; the commands re-parse the (known good) string.
+    try:
+        parse_parallelism(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return text
 
 
 def _add_device_arguments(parser: argparse.ArgumentParser) -> None:
@@ -95,6 +111,14 @@ def _add_device_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--page-size", type=int, default=d.page_size)
     parser.add_argument("--logical-fraction", type=float,
                         default=d.logical_fraction)
+    parser.add_argument(
+        "--geometry", metavar="CxDxP", default="1x1x1",
+        type=_geometry_spec,
+        help="device parallelism as channels x dies x planes (e.g. "
+             "4x2x1; dies and planes may be omitted).  More than one "
+             "parallel unit builds a multi-channel device with "
+             "overlapped command timing and striped allocation for "
+             "LazyFTL / DFTL / ideal (default 1x1x1: serial device)")
 
 
 def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
@@ -333,6 +357,8 @@ def _crashcheck_one_repro(text: str, do_shrink: bool) -> int:
 def cmd_crashcheck(args: argparse.Namespace) -> int:
     if args.repro is not None:
         return _crashcheck_one_repro(args.repro, args.shrink)
+    channels, dies, planes = parse_parallelism(args.geometry)
+    device = DeviceParams(channels=channels, dies=dies, planes=planes)
     schemes = args.scheme or (["LazyFTL"] if not args.full
                               else list(CRASH_SCHEMES))
     if args.full:
@@ -347,12 +373,12 @@ def cmd_crashcheck(args: argparse.Namespace) -> int:
             # the last boundary and require the checker to notice.
             probe = CrashCase(scheme=scheme, crash_index=0,
                               seed=args.seed, num_ops=num_ops,
-                              mutate=True)
+                              mutate=True, device=device)
             boundaries = count_boundaries(probe)
             case = CrashCase(scheme=scheme,
                              crash_index=max(0, boundaries - 1),
                              seed=args.seed, num_ops=num_ops,
-                             mutate=True)
+                             mutate=True, device=device)
             result = check_case(case)
             if result.mutated and not result.ok:
                 print(f"{scheme}: mutation detected "
@@ -366,7 +392,7 @@ def cmd_crashcheck(args: argparse.Namespace) -> int:
             continue
         try:
             report = explore(scheme, num_ops=num_ops, seed=args.seed,
-                             jobs=args.jobs)
+                             jobs=args.jobs, device=device)
         except SweepWorkerError as exc:
             print(exc, file=sys.stderr)
             return 3
@@ -384,14 +410,16 @@ def cmd_crashcheck(args: argparse.Namespace) -> int:
                     print(f"    {violation}")
                 case = CrashCase(scheme=scheme,
                                  crash_index=failing.crash_index,
-                                 seed=args.seed, num_ops=num_ops)
+                                 seed=args.seed, num_ops=num_ops,
+                                 device=device)
                 print(f"    reproducer: {case.reproducer()}")
             if args.shrink:
                 first = report.failures[0]
                 minimized = shrink(
                     CrashCase(scheme=scheme,
                               crash_index=first.crash_index,
-                              seed=args.seed, num_ops=num_ops)
+                              seed=args.seed, num_ops=num_ops,
+                              device=device)
                 )
                 print(f"  shrunk {minimized.original_ops} ops -> "
                       f"{len(minimized.case.ops)} "
@@ -517,6 +545,10 @@ def build_parser() -> argparse.ArgumentParser:
     crash.add_argument("--full", action="store_true",
                        help="exhaustive acceptance matrix: every "
                             "recovery-capable scheme, >= 2000 ops")
+    crash.add_argument("--geometry", metavar="CxDxP", default="1x1x1",
+                       type=_geometry_spec,
+                       help="device parallelism channelsxdiesxplanes for "
+                            "the checker's small device (default 1x1x1)")
     crash.add_argument("--repro", metavar="STRING", default=None,
                        help="replay one crashmc:v1 reproducer string")
     crash.add_argument("--max-report", type=int, default=5,

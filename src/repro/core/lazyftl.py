@@ -32,6 +32,7 @@ from ..obs.events import Cause, EventType
 from ..obs.tracer import Tracer
 from ..ftl.gc_policy import select_greedy
 from ..ftl.pool import BlockPool, OutOfBlocksError
+from ..ftl.stripe import StripedFrontier, stripe_ways
 from .areas import BlockArea, DataBlockSet
 from .config import LazyConfig
 from .mapping import MappingStore
@@ -117,6 +118,26 @@ class LazyFTL(FlashTranslationLayer):
             self.num_tvpns,
             cache_pages=self.config.map_cache_pages,
         )
+        # Striped frontiers: on a multi-channel device keep several
+        # blocks open per area and rotate programs across parallel units
+        # so bursts overlap.  At 1x1x1 the stripes stay None and every
+        # code path below is the pre-existing single-frontier one.
+        units = geometry.parallel_units
+        self._parallel_units = units
+        if units > 1:
+            self._uba_stripe: Optional[StripedFrontier] = StripedFrontier(
+                units, stripe_ways(units, self.config.uba_blocks)
+            )
+            self._cba_stripe: Optional[StripedFrontier] = StripedFrontier(
+                units, stripe_ways(units, self.config.cba_blocks)
+            )
+            self._maps.stripe = StripedFrontier(units, stripe_ways(units))
+            self._maps.stripe_reserve = self.config.gc_free_threshold
+            self._begin_op = getattr(flash, "begin_host_op", None)
+        else:
+            self._uba_stripe = None
+            self._cba_stripe = None
+            self._begin_op = None
         self._in_maintenance = False
         self._writes_since_checkpoint = 0
         #: Hoisted from the (frozen) config: write() skips the periodic-
@@ -134,6 +155,8 @@ class LazyFTL(FlashTranslationLayer):
     def read(self, lpn: int) -> HostResult:
         if not 0 <= lpn < self.logical_pages:
             self._check_lpn(lpn)
+        if self._begin_op is not None:
+            self._begin_op()
         self.stats.host_reads += 1
         flash = self.flash
         fast = self._tracer is None and flash.maintenance_fast_path()
@@ -168,15 +191,27 @@ class LazyFTL(FlashTranslationLayer):
     def write(self, lpn: int, data: Any = None) -> HostResult:
         if not 0 <= lpn < self.logical_pages:
             self._check_lpn(lpn)
+        if self._begin_op is not None:
+            self._begin_op()
         self.stats.host_writes += 1
         flash = self.flash
-        frontier = self._uba.frontier
-        if frontier is None or \
-                flash.blocks[frontier]._write_ptr >= self._pages_per_block:
-            latency = self._ensure_update_frontier()
+        stripe = self._uba_stripe
+        if stripe is None:
             frontier = self._uba.frontier
+            if frontier is None or \
+                    flash.blocks[frontier]._write_ptr >= \
+                    self._pages_per_block:
+                latency = self._ensure_update_frontier()
+                frontier = self._uba.frontier
+            else:
+                latency = 0.0
         else:
-            latency = 0.0
+            frontier = stripe.next_slot(flash)
+            if frontier is None or len(stripe.open_blocks) < stripe.ways:
+                latency = self._open_update_block()
+                frontier = stripe.open_blocks[-1]
+            else:
+                latency = 0.0
         # Resolve the superseded copy only now: the frontier work above may
         # have converted the block holding it (removing its UMT entry).
         old_ppn = self._umt.ppn_at(lpn)
@@ -262,29 +297,90 @@ class LazyFTL(FlashTranslationLayer):
     def dba_blocks(self) -> List[int]:
         return self._dba.snapshot()
 
+    def _rebuild_stripes(self) -> None:
+        """Re-derive striped-frontier rotations after recovery/restore.
+
+        Rotation state is never persisted: the open blocks of each area
+        are exactly its non-full members, so recovery (which restores
+        the area deques) can always reconstruct an equivalent rotation.
+        The mapping store keeps at most its single recovered frontier -
+        extra pre-crash open mapping blocks were retired as full, which
+        wastes their free pages but stays correct.
+        """
+        if self._uba_stripe is None:
+            return
+        blocks = self.flash.blocks
+        ppb = self._pages_per_block
+
+        def open_of(members: List[int]) -> List[int]:
+            return [b for b in members if blocks[b]._write_ptr < ppb]
+
+        self._uba_stripe.reset(open_of(self._uba.snapshot()))
+        self._cba_stripe.reset(open_of(self._cba.snapshot()))
+        maps = self._maps
+        if maps.stripe is not None:
+            frontier = maps._frontier
+            maps.stripe.reset([] if frontier is None else [frontier])
+
     # ------------------------------------------------------------------
     # Frontier management and conversion
     # ------------------------------------------------------------------
     def _ensure_update_frontier(self) -> float:
         """Guarantee the UBA frontier has a free page."""
+        stripe = self._uba_stripe
+        if stripe is not None:
+            if stripe.next_slot(self.flash) is not None and \
+                    len(stripe.open_blocks) >= stripe.ways:
+                return 0.0
+            return self._open_update_block()
         frontier = self._uba.frontier
         if frontier is not None and not self.flash.block(frontier).is_full:
             return 0.0
+        return self._open_update_block()
+
+    def _open_update_block(self) -> float:
+        """Allocate and push a fresh UBA block (conversion pressure first)."""
         latency = self._reclaim_if_needed()
         if self._uba.is_at_capacity:
             latency += self._convert_oldest(self._uba)
-        self._uba.push(self._pool.allocate())
+        stripe = self._uba_stripe
+        if stripe is None:
+            self._uba.push(self._pool.allocate())
+        else:
+            pbn = self._pool.allocate_on(
+                stripe.uncovered_unit(), stripe.units
+            )
+            self._uba.push(pbn)
+            stripe.note_open(pbn)
         return latency
 
     def _ensure_cold_frontier(self) -> float:
         """Guarantee the CBA frontier has a free page (GC destination)."""
+        stripe = self._cba_stripe
+        if stripe is not None:
+            if stripe.next_slot(self.flash) is not None and \
+                    len(stripe.open_blocks) >= stripe.ways:
+                return 0.0
+            return self._open_cold_block()
         frontier = self._cba.frontier
         if frontier is not None and not self.flash.block(frontier).is_full:
             return 0.0
+        return self._open_cold_block()
+
+    def _open_cold_block(self) -> float:
+        """Allocate and push a fresh CBA block (GC destination)."""
         latency = 0.0
         if self._cba.is_at_capacity:
             latency += self._convert_oldest(self._cba)
-        self._cba.push(self._pool.allocate())
+        stripe = self._cba_stripe
+        if stripe is None:
+            self._cba.push(self._pool.allocate())
+        else:
+            pbn = self._pool.allocate_on(
+                stripe.uncovered_unit(), stripe.units
+            )
+            self._cba.push(pbn)
+            stripe.note_open(pbn)
         return latency
 
     def _convert_oldest(self, area: BlockArea) -> float:
@@ -334,6 +430,12 @@ class LazyFTL(FlashTranslationLayer):
         block's valid pages.
         """
         self.stats.converts += 1
+        if self._uba_stripe is not None:
+            # A still-open striped frontier block can be converted (flush
+            # and capacity pressure both do it); drop it from rotation
+            # before its pages are committed.
+            self._uba_stripe.discard(pbn)
+            self._cba_stripe.discard(pbn)
         tracer = self._tracer
         if tracer is not None:
             tracer.span_start(None, Cause.CONVERT)
@@ -521,7 +623,9 @@ class LazyFTL(FlashTranslationLayer):
         # The CBA frontier only changes through _ensure_cold_frontier (no
         # host writes run mid-GC), so it is tracked in a local and
         # re-fetched only after that call instead of through the property
-        # on every relocated page.
+        # on every relocated page.  On a striped CBA the destination
+        # instead rotates across the open blocks every copy.
+        stripe = self._cba_stripe
         frontier = cba.frontier
         if flash.maintenance_fast_path():
             # Inline twin of the loop below: replicates the untraced
@@ -559,7 +663,14 @@ class LazyFTL(FlashTranslationLayer):
                 fstats.page_reads += 1
                 fstats.read_us += read_us
                 latency += read_us
-                if frontier is None or blocks[frontier]._write_ptr >= ppb:
+                if stripe is not None:
+                    frontier = stripe.next_slot(flash)
+                    if frontier is None or \
+                            len(stripe.open_blocks) < stripe.ways:
+                        latency += self._open_cold_block()
+                        frontier = stripe.open_blocks[-1]
+                elif frontier is None or \
+                        blocks[frontier]._write_ptr >= ppb:
                     latency += self._ensure_cold_frontier()
                     frontier = cba.frontier
                 fblock = blocks[frontier]
@@ -621,7 +732,13 @@ class LazyFTL(FlashTranslationLayer):
                 continue
             data, _, read_lat = read_page(src)
             latency += read_lat
-            if frontier is None or blocks[frontier]._write_ptr >= ppb:
+            if stripe is not None:
+                frontier = stripe.next_slot(flash)
+                if frontier is None or \
+                        len(stripe.open_blocks) < stripe.ways:
+                    latency += self._open_cold_block()
+                    frontier = stripe.open_blocks[-1]
+            elif frontier is None or blocks[frontier]._write_ptr >= ppb:
                 latency += self._ensure_cold_frontier()
                 frontier = cba.frontier
             dst = frontier * ppb + blocks[frontier]._write_ptr

@@ -51,6 +51,15 @@ class MappingStore:
         self._full_blocks: Set[int] = set()
         #: Optional tracer, threaded down by LazyFTL.attach_tracer.
         self.tracer = None
+        #: Optional striped frontier (multi-channel devices only), set by
+        #: LazyFTL after construction.  When present, ``_frontier``
+        #: always aliases the rotation's current pick, so the program
+        #: paths below need no other changes.
+        self.stripe = None
+        #: Free blocks to keep in reserve before opening *extra* striped
+        #: mapping frontiers (the first block is always allocatable, as
+        #: before).  Sized to the GC threshold by LazyFTL.
+        self.stripe_reserve = 0
 
     # ------------------------------------------------------------------
     # Membership (for GC candidate enumeration and checkpoints)
@@ -66,9 +75,23 @@ class MappingStore:
 
     def all_blocks(self) -> List[int]:
         blocks = sorted(self._full_blocks)
-        if self._frontier is not None:
+        if self.stripe is not None:
+            for pbn in self.stripe.open_blocks:
+                if pbn not in self._full_blocks:
+                    blocks.append(pbn)
+            if self._frontier is not None and \
+                    self._frontier not in blocks:
+                blocks.append(self._frontier)
+        elif self._frontier is not None:
             blocks.append(self._frontier)
         return blocks
+
+    def open_blocks(self) -> List[int]:
+        """Every currently-writable mapping block (1 unstriped, else the
+        striped rotation)."""
+        if self.stripe is not None:
+            return list(self.stripe.open_blocks)
+        return [] if self._frontier is None else [self._frontier]
 
     # ------------------------------------------------------------------
     # Lookup
@@ -216,6 +239,23 @@ class MappingStore:
     def _ensure_frontier(self) -> float:
         """Keep a writable mapping block; allocation comes from the shared
         pool whose GC reserve is sized for it (no recursive GC here)."""
+        stripe = self.stripe
+        if stripe is not None:
+            # Rotate across the open mapping blocks (full ones retire to
+            # _full_blocks as the rotation walks over them); open extra
+            # ways only while the pool can spare blocks beyond the GC
+            # reserve, so striping never steals the reclaim cushion.
+            pbn = stripe.next_slot(self.flash, self._full_blocks.add)
+            if pbn is None or (
+                len(stripe.open_blocks) < stripe.ways
+                and len(self.pool) > self.stripe_reserve
+            ):
+                pbn = self.pool.allocate_on(
+                    stripe.uncovered_unit(), stripe.units
+                )
+                stripe.note_open(pbn)
+            self._frontier = pbn
+            return 0.0
         frontier = self._frontier
         if frontier is not None:
             block = self.flash.blocks[frontier]
@@ -262,6 +302,7 @@ class MappingStore:
             seq = self.seq
             INVALID = PageState.INVALID
             MAPPING = PageKind.MAPPING
+            stripe = self.stripe
             frontier = self._frontier
             for offset in offsets:
                 spage = pages[offset]
@@ -271,8 +312,12 @@ class MappingStore:
                 fstats.read_us += read_us
                 latency += read_us
                 stats.map_reads += 1
-                if frontier is None or blocks[frontier]._write_ptr >= ppb:
-                    self._ensure_frontier()  # always returns 0.0
+                # Striped: rotate the pick every program.  Serial: only
+                # refresh once the open block fills.  Either way the
+                # call itself never adds latency here.
+                if stripe is not None or frontier is None or \
+                        blocks[frontier]._write_ptr >= ppb:
+                    self._ensure_frontier()
                     frontier = self._frontier
                 fblock = blocks[frontier]
                 wp = fblock._write_ptr
@@ -326,15 +371,34 @@ class MappingStore:
         return self.gtd.ram_bytes() + cache_bytes
 
     def snapshot(self) -> Dict[str, object]:
-        """Checkpoint fragment: GTD + MBA membership."""
-        return {
+        """Checkpoint fragment: GTD + MBA membership.
+
+        The ``open`` key (extra striped frontier blocks beyond
+        ``frontier``) only appears on multi-channel devices, keeping
+        serial-device checkpoints byte-identical to before striping
+        existed.
+        """
+        state: Dict[str, object] = {
             "gtd": self.gtd.snapshot(),
             "full_blocks": sorted(self._full_blocks),
             "frontier": self._frontier,
         }
+        if self.stripe is not None:
+            extras = [
+                pbn for pbn in self.stripe.open_blocks
+                if pbn != self._frontier
+            ]
+            if extras:
+                state["open"] = extras
+        return state
 
     def restore(self, state: Dict[str, object]) -> None:
         self.gtd.restore(state["gtd"])  # type: ignore[arg-type]
         self._full_blocks = set(state["full_blocks"])  # type: ignore[arg-type]
         self._frontier = state["frontier"]  # type: ignore[assignment]
+        if self.stripe is not None:
+            open_blocks = list(state.get("open", ()))  # type: ignore[call-overload]
+            if self._frontier is not None:
+                open_blocks.append(self._frontier)
+            self.stripe.reset(open_blocks)
         self._cache.clear()

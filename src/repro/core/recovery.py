@@ -228,6 +228,9 @@ def recover(
             | set(state["maps"]["full_blocks"])
             | ({state["maps"]["frontier"]}
                if state["maps"]["frontier"] is not None else set())
+            # Extra striped mapping frontiers (multi-channel devices
+            # only; absent from serial-device checkpoints).
+            | set(state["maps"].get("open", ()))
         )
         scanned = set(full_scan)
         for pbn in state["dba"]:
@@ -380,6 +383,7 @@ def recover(
         for oob in oobs:
             max_seq = max(max_seq, oob.seq)
     ftl._seq.fast_forward(max_seq)
+    ftl._rebuild_stripes()
     ftl.stats.recovery_reads += pages_read
     if tracer is not None:
         tracer.pop_cause()

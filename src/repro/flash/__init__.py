@@ -26,7 +26,13 @@ from .errors import (
     RedundantInvalidateWarning,
 )
 from .fault import PowerFault
-from .geometry import MAP_ENTRY_BYTES, FlashGeometry, geometry_for_capacity
+from .geometry import (
+    MAP_ENTRY_BYTES,
+    FlashGeometry,
+    geometry_for_capacity,
+    parse_parallelism,
+)
+from .parallel import ParallelNandFlash
 from .oob import OOBData, PageKind, SequenceCounter
 from .page import Page, PageState
 from .stats import FlashStats, wear_summary
@@ -48,6 +54,8 @@ __all__ = [
     "MAP_ENTRY_BYTES",
     "FlashGeometry",
     "geometry_for_capacity",
+    "parse_parallelism",
+    "ParallelNandFlash",
     "OOBData",
     "PageKind",
     "SequenceCounter",

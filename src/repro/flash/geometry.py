@@ -17,7 +17,7 @@ from .errors import OutOfRangeError
 MAP_ENTRY_BYTES = 4
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, repr=False)
 class FlashGeometry:
     """Immutable description of a flash device's layout.
 
@@ -30,12 +30,32 @@ class FlashGeometry:
         page_size: Data bytes per page (excluding the OOB spare area).
         oob_size: Spare ("out of band") bytes per page, used by FTLs for
             reverse mappings, sequence numbers and flags.
+        channels: Independent command channels (1 = the serial device of
+            the paper's evaluation).
+        dies: NAND dies per channel.  A (channel, die) pair is one
+            *parallel unit*: operations on different units overlap in
+            simulated time, operations on the same unit serialize.
+        planes: Planes per die.  Planes share their die's command queue
+            (no independent timing), so they refine *addressing* only.
+
+    Parallel addressing uses block-interleaved striping, low bits first::
+
+        block  = (((stripe * planes + plane) * dies + die) * channels
+                  + channel)
+        ppn    = block * pages_per_block + page
+
+    i.e. consecutive block numbers round-robin across channels, then
+    dies, then planes - so any run of ``channels * dies`` consecutive
+    blocks covers every parallel unit exactly ``planes`` times.
     """
 
     num_blocks: int = 1024
     pages_per_block: int = 64
     page_size: int = 2048
     oob_size: int = 64
+    channels: int = 1
+    dies: int = 1
+    planes: int = 1
 
     def __post_init__(self) -> None:
         if self.num_blocks <= 0:
@@ -46,6 +66,20 @@ class FlashGeometry:
             raise ValueError("page_size must be positive")
         if self.oob_size < 0:
             raise ValueError("oob_size must be non-negative")
+        if self.channels <= 0:
+            raise ValueError("channels must be positive")
+        if self.dies <= 0:
+            raise ValueError("dies must be positive")
+        if self.planes <= 0:
+            raise ValueError("planes must be positive")
+        ways = self.channels * self.dies * self.planes
+        if self.num_blocks % ways != 0:
+            raise ValueError(
+                f"num_blocks ({self.num_blocks}) must be divisible by "
+                f"channels*dies*planes ({self.channels}x{self.dies}x"
+                f"{self.planes} = {ways}) so every parallel unit holds "
+                f"the same number of blocks"
+            )
 
     @property
     def total_pages(self) -> int:
@@ -71,6 +105,83 @@ class FlashGeometry:
         logical pages.
         """
         return self.page_size // MAP_ENTRY_BYTES
+
+    # ------------------------------------------------------------------
+    # Parallelism
+    # ------------------------------------------------------------------
+    @property
+    def parallel_units(self) -> int:
+        """Independently-timed command queues: ``channels * dies``.
+
+        Planes are excluded deliberately - a plane shares its die's
+        queue, so two-plane geometries widen the address space without
+        adding overlap (documented limitation; matches the conservative
+        end of real controllers, which need paired-plane commands to
+        exploit planes).
+        """
+        return self.channels * self.dies
+
+    def channel_of(self, block: int) -> int:
+        """Channel that erase block ``block`` lives on."""
+        self.check_block(block)
+        return block % self.channels
+
+    def die_of(self, block: int) -> int:
+        """Die (within its channel) that erase block ``block`` lives on."""
+        self.check_block(block)
+        return (block // self.channels) % self.dies
+
+    def plane_of(self, block: int) -> int:
+        """Plane (within its die) that erase block ``block`` lives on."""
+        self.check_block(block)
+        return (block // (self.channels * self.dies)) % self.planes
+
+    def unit_of(self, block: int) -> int:
+        """Parallel unit (flat channel+die index) of erase block ``block``.
+
+        ``unit = die * channels + channel``; blocks on the same unit
+        serialize, blocks on different units overlap.  With the
+        block-interleaved layout this is simply
+        ``block % parallel_units``.
+        """
+        self.check_block(block)
+        return block % self.parallel_units
+
+    def unit_of_ppn(self, ppn: int) -> int:
+        """Parallel unit of the block containing physical page ``ppn``."""
+        self.check_ppn(ppn)
+        return (ppn // self.pages_per_block) % self.parallel_units
+
+    def decompose_ppn(self, ppn: int) -> tuple:
+        """Full physical coordinates ``(channel, die, plane, block, page)``.
+
+        ``block`` is the flat erase-block number (the same value
+        :meth:`block_of` returns), included so the tuple round-trips
+        through :meth:`ppn_of` without re-deriving the stripe index.
+        """
+        self.check_ppn(ppn)
+        block, page = divmod(ppn, self.pages_per_block)
+        return (
+            block % self.channels,
+            (block // self.channels) % self.dies,
+            (block // (self.channels * self.dies)) % self.planes,
+            block,
+            page,
+        )
+
+    def __repr__(self) -> str:
+        parallel = (
+            f", {self.channels}ch x {self.dies}die x {self.planes}pl "
+            f"[block = ((stripe*planes + plane)*dies + die)*channels "
+            f"+ channel; ppn = block*{self.pages_per_block} + page]"
+            if self.parallel_units > 1 or self.planes > 1
+            else ""
+        )
+        return (
+            f"FlashGeometry({self.num_blocks} blocks x "
+            f"{self.pages_per_block} pages x {self.page_size}B"
+            f"{parallel})"
+        )
 
     # ------------------------------------------------------------------
     # Address arithmetic
@@ -106,6 +217,31 @@ class FlashGeometry:
         """Raise :class:`OutOfRangeError` for an invalid block number."""
         if not 0 <= block < self.num_blocks:
             raise OutOfRangeError("block", block, self.num_blocks)
+
+
+def parse_parallelism(spec: str) -> tuple:
+    """Parse a ``CxDxP`` parallelism spec into ``(channels, dies, planes)``.
+
+    Accepts ``"4"`` (channels only), ``"4x2"`` (channels x dies) or
+    ``"4x2x1"``; omitted components default to 1.  This is the format the
+    ``--geometry`` CLI flag takes.
+    """
+    parts = spec.lower().replace("×", "x").split("x")
+    if not 1 <= len(parts) <= 3:
+        raise ValueError(
+            f"geometry spec {spec!r} is not CxDxP (e.g. 4x2x1)"
+        )
+    try:
+        values = [int(p) for p in parts]
+    except ValueError:
+        raise ValueError(
+            f"geometry spec {spec!r} is not CxDxP (e.g. 4x2x1)"
+        ) from None
+    if any(v <= 0 for v in values):
+        raise ValueError(f"geometry spec {spec!r} has non-positive parts")
+    while len(values) < 3:
+        values.append(1)
+    return tuple(values)
 
 
 def geometry_for_capacity(

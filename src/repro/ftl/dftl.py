@@ -30,6 +30,7 @@ from ..perf.maptable import MapTable
 from .base import UNMAPPED_READ_US, FlashTranslationLayer, HostResult
 from .gc_policy import select_greedy
 from .pool import BlockPool, OutOfBlocksError
+from .stripe import StripedFrontier, stripe_ways
 
 
 class _CmtEntry:
@@ -98,12 +99,34 @@ class DftlFTL(FlashTranslationLayer):
         self._in_gc = False
         self._pages_per_block = flash.geometry.pages_per_block
         self._seq = SequenceCounter()
+        units = flash.geometry.parallel_units
+        if units > 1:
+            # Multi-channel device: rotate each active frontier across up
+            # to ``ways`` concurrently-open blocks so program bursts (host
+            # writes, GC relocation, eviction flushes) land on different
+            # parallel units and overlap.  Serial devices keep the stripes
+            # at None and run the original single-active paths unchanged.
+            ways = stripe_ways(units)
+            self._data_stripe: Optional[StripedFrontier] = \
+                StripedFrontier(units, ways)
+            self._gc_stripe: Optional[StripedFrontier] = \
+                StripedFrontier(units, ways)
+            self._trans_stripe: Optional[StripedFrontier] = \
+                StripedFrontier(units, ways)
+            self._begin_op = getattr(flash, "begin_host_op", None)
+        else:
+            self._data_stripe = None
+            self._gc_stripe = None
+            self._trans_stripe = None
+            self._begin_op = None
 
     # ------------------------------------------------------------------
     # Host interface
     # ------------------------------------------------------------------
     def read(self, lpn: int) -> HostResult:
         self._check_lpn(lpn)
+        if self._begin_op is not None:
+            self._begin_op()
         self.stats.host_reads += 1
         ppn, latency = self._lookup(lpn)
         if ppn is None:
@@ -125,12 +148,19 @@ class DftlFTL(FlashTranslationLayer):
     def write(self, lpn: int, data: Any = None) -> HostResult:
         if not 0 <= lpn < self.logical_pages:
             self._check_lpn(lpn)
+        if self._begin_op is not None:
+            self._begin_op()
         self.stats.host_writes += 1
         flash = self.flash
         ppb = self._pages_per_block
         _, latency = self._lookup(lpn)
         active = self._data_active
-        if active is None or flash.blocks[active]._write_ptr >= ppb:
+        if self._data_stripe is not None:
+            # Striped: rotate the data frontier every host write so
+            # consecutive programs land on different parallel units.
+            latency += self._ensure_data_active()
+            active = self._data_active
+        elif active is None or flash.blocks[active]._write_ptr >= ppb:
             latency += self._ensure_data_active()
             active = self._data_active
         # Re-resolve after space allocation: GC may have relocated the old
@@ -327,6 +357,19 @@ class DftlFTL(FlashTranslationLayer):
             + self.flash.blocks[pbn]._write_ptr
 
     def _ensure_data_active(self) -> float:
+        stripe = self._data_stripe
+        if stripe is not None:
+            pbn = stripe.next_slot(self.flash, self._data_blocks.add)
+            latency = 0.0
+            if pbn is None or (len(stripe.open_blocks) < stripe.ways
+                               and len(self._pool) > self.gc_free_threshold):
+                latency = self._reclaim_if_needed()
+                new = self._pool.allocate_on(
+                    stripe.uncovered_unit(), stripe.units)
+                stripe.note_open(new)
+                pbn = new
+            self._data_active = pbn
+            return latency
         active = self._data_active
         if active is not None:
             if self.flash.blocks[active]._write_ptr < self._pages_per_block:
@@ -344,6 +387,28 @@ class DftlFTL(FlashTranslationLayer):
         running, where the free-threshold reserve covers the allocation
         (guarding against unbounded recursion).
         """
+        stripe = self._trans_stripe
+        if stripe is not None:
+            flash = self.flash
+            pool = self._pool
+            pbn = stripe.next_slot(flash, self._trans_blocks.add)
+            latency = 0.0
+            reserve = 1 if self._in_gc else self.gc_free_threshold
+            if pbn is None or (len(stripe.open_blocks) < stripe.ways
+                               and len(pool) > reserve):
+                if not self._in_gc:
+                    latency = self._reclaim_if_needed()
+                    # GC may itself have rotated or opened translation
+                    # blocks; re-check before pulling another pool block.
+                    pbn = stripe.next_slot(flash, self._trans_blocks.add)
+                if pbn is None or (len(stripe.open_blocks) < stripe.ways
+                                   and len(pool) > reserve):
+                    new = pool.allocate_on(
+                        stripe.uncovered_unit(), stripe.units)
+                    stripe.note_open(new)
+                    pbn = new
+            self._trans_active = pbn
+            return latency
         active = self._trans_active
         if active is not None and \
                 self.flash.blocks[active]._write_ptr < self._pages_per_block:
@@ -365,6 +430,17 @@ class DftlFTL(FlashTranslationLayer):
         return latency
 
     def _gc_destination(self) -> float:
+        stripe = self._gc_stripe
+        if stripe is not None:
+            pbn = stripe.next_slot(self.flash, self._data_blocks.add)
+            if pbn is None or (len(stripe.open_blocks) < stripe.ways
+                               and len(self._pool) > 1):
+                new = self._pool.allocate_on(
+                    stripe.uncovered_unit(), stripe.units)
+                stripe.note_open(new)
+                pbn = new
+            self._gc_active = pbn
+            return 0.0
         active = self._gc_active
         if active is not None:
             if self.flash.blocks[active]._write_ptr < self._pages_per_block:
@@ -450,6 +526,7 @@ class DftlFTL(FlashTranslationLayer):
             gtd = self._gtd
             INVALID = PageState.INVALID
             MAPPING = PageKind.MAPPING
+            trans_stripe = self._trans_stripe
             trans_active = self._trans_active
             for offset in offsets:
                 spage = pages[offset]
@@ -459,10 +536,12 @@ class DftlFTL(FlashTranslationLayer):
                 fstats.read_us += read_us
                 latency += read_us
                 stats.map_reads += 1
-                if trans_active is None or \
+                if trans_stripe is not None or trans_active is None or \
                         blocks[trans_active]._write_ptr >= ppb:
                     # _in_gc is set, so this never reclaims: it only
                     # retires the full block and allocates (returns 0.0).
+                    # Striped devices re-enter per page to rotate the
+                    # destination across parallel units.
                     latency += self._ensure_trans_active()
                     trans_active = self._trans_active
                 tblock = blocks[trans_active]
@@ -538,6 +617,7 @@ class DftlFTL(FlashTranslationLayer):
         # The GC destination only changes through _gc_destination (host
         # writes never interleave with a GC pass), so it lives in a local
         # refreshed after that call rather than being re-read per page.
+        gc_stripe = self._gc_stripe
         gc_active = self._gc_active
         if flash.maintenance_fast_path():
             # Inline twin of the loop below (see
@@ -555,7 +635,8 @@ class DftlFTL(FlashTranslationLayer):
                 fstats.page_reads += 1
                 fstats.read_us += read_us
                 latency += read_us
-                if gc_active is None or blocks[gc_active]._write_ptr >= ppb:
+                if gc_stripe is not None or gc_active is None or \
+                        blocks[gc_active]._write_ptr >= ppb:
                     self._gc_destination()  # always returns 0.0
                     gc_active = self._gc_active
                 lpn = spage.oob.lpn
@@ -583,6 +664,7 @@ class DftlFTL(FlashTranslationLayer):
             # call), with identical stats and float-accumulation order.
             gtd = self._gtd
             cmt_get = self._cmt.get
+            trans_stripe = self._trans_stripe
             trans_active = self._trans_active
             MAPPING = PageKind.MAPPING
             for tvpn, pairs in moved.items():
@@ -602,7 +684,7 @@ class DftlFTL(FlashTranslationLayer):
                     if entry is not None:
                         entry.ppn = dst
                         entry.dirty = False
-                if trans_active is None \
+                if trans_stripe is not None or trans_active is None \
                         or blocks[trans_active]._write_ptr >= ppb:
                     # In-GC the reclaim is skipped (reserve covers the
                     # allocation), so this only pulls a pool block.
@@ -637,7 +719,8 @@ class DftlFTL(FlashTranslationLayer):
             src = base + offset
             data, oob, read_lat = read_page(src)
             latency += read_lat
-            if gc_active is None or blocks[gc_active]._write_ptr >= ppb:
+            if gc_stripe is not None or gc_active is None or \
+                    blocks[gc_active]._write_ptr >= ppb:
                 latency += self._gc_destination()
                 gc_active = self._gc_active
             lpn = oob.lpn

@@ -57,6 +57,24 @@ class BlockPool:
         """The block the next :meth:`allocate` would return, or None."""
         return self._free[0] if self._free else None
 
+    def allocate_on(self, unit: int, units: int) -> int:
+        """Pop the oldest free block on parallel unit ``unit``.
+
+        Used by striped frontiers to open one block per channel/die.
+        Falls back to plain FIFO :meth:`allocate` when the unit has no
+        free block - correctness (having *a* frontier) always beats
+        stripe placement.  At ``units == 1`` this is exactly
+        :meth:`allocate`.
+        """
+        if units > 1:
+            free = self._free
+            for index, pbn in enumerate(free):
+                if pbn % units == unit:
+                    del free[index]
+                    self._members.discard(pbn)
+                    return pbn
+        return self.allocate()
+
     def snapshot(self) -> list:
         """Current free blocks in allocation order (for checkpoints)."""
         return list(self._free)

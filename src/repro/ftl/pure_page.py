@@ -23,6 +23,7 @@ from ..perf.maptable import MapTable
 from .base import UNMAPPED_READ_US, FlashTranslationLayer, HostResult
 from .gc_policy import select_greedy
 from .pool import BlockPool, OutOfBlocksError
+from .stripe import StripedFrontier, stripe_ways
 
 
 class PageFTL(FlashTranslationLayer):
@@ -62,6 +63,22 @@ class PageFTL(FlashTranslationLayer):
         self._active: Optional[int] = None
         self._gc_active: Optional[int] = None
         self._seq = SequenceCounter()
+        # Striped frontiers on multi-channel devices: the host and GC
+        # active slots each rotate over up to `ways` open blocks so
+        # program bursts overlap across parallel units.  None at 1x1x1,
+        # keeping the single-slot paths bit-identical.
+        units = flash.geometry.parallel_units
+        if units > 1:
+            ways = stripe_ways(units)
+            self._active_stripe: Optional[StripedFrontier] = \
+                StripedFrontier(units, ways)
+            self._gc_stripe: Optional[StripedFrontier] = \
+                StripedFrontier(units, ways)
+            self._begin_op = getattr(flash, "begin_host_op", None)
+        else:
+            self._active_stripe = None
+            self._gc_stripe = None
+            self._begin_op = None
 
     # ------------------------------------------------------------------
     # Host interface
@@ -69,6 +86,8 @@ class PageFTL(FlashTranslationLayer):
     def read(self, lpn: int) -> HostResult:
         if not 0 <= lpn < self.logical_pages:
             self._check_lpn(lpn)
+        if self._begin_op is not None:
+            self._begin_op()
         self.stats.host_reads += 1
         ppn = self._map.raw[lpn]
         if ppn < 0:
@@ -90,6 +109,8 @@ class PageFTL(FlashTranslationLayer):
     def write(self, lpn: int, data: Any = None) -> HostResult:
         if not 0 <= lpn < self.logical_pages:
             self._check_lpn(lpn)
+        if self._begin_op is not None:
+            self._begin_op()
         self.stats.host_writes += 1
         latency = self._ensure_active()
         active = self._active
@@ -212,6 +233,25 @@ class PageFTL(FlashTranslationLayer):
 
     def _ensure_active(self) -> float:
         """Make sure the active block has a free page; may run GC."""
+        stripe = self._active_stripe
+        if stripe is not None:
+            # Rotate across the open blocks (full ones retire to the
+            # data set); open extra ways only while the pool sits above
+            # the GC threshold so striping never eats the reclaim
+            # cushion.
+            latency = 0.0
+            pbn = stripe.next_slot(self.flash, self._data_blocks.add)
+            if pbn is None or (
+                len(stripe.open_blocks) < stripe.ways
+                and len(self._pool) > self.gc_free_threshold
+            ):
+                latency += self._reclaim_if_needed()
+                pbn = self._pool.allocate_on(
+                    stripe.uncovered_unit(), stripe.units
+                )
+                stripe.note_open(pbn)
+            self._active = pbn
+            return latency
         latency = 0.0
         if self._active is not None and self.flash.block(self._active).is_full:
             self._data_blocks.add(self._active)
@@ -299,6 +339,7 @@ class PageFTL(FlashTranslationLayer):
         INVALID = PageState.INVALID
         DATA = PageKind.DATA
         vpages = victim.pages
+        stripe = self._gc_stripe
         gc_active = self._gc_active
         latency = 0.0
         for offset in list(victim.valid_offsets()):
@@ -306,8 +347,11 @@ class PageFTL(FlashTranslationLayer):
             fstats.page_reads += 1
             fstats.read_us += read_us
             latency += read_us
-            if gc_active is None or blocks[gc_active]._write_ptr >= ppb:
-                self._gc_destination()  # always returns 0.0
+            # Striped: rotate the pick every copy.  Serial: only refresh
+            # once the destination fills.  The call never adds latency.
+            if stripe is not None or gc_active is None or \
+                    blocks[gc_active]._write_ptr >= ppb:
+                self._gc_destination()
                 gc_active = self._gc_active
             gblock = blocks[gc_active]
             wp = gblock._write_ptr
@@ -330,6 +374,19 @@ class PageFTL(FlashTranslationLayer):
 
     def _gc_destination(self) -> float:
         """Ensure the GC active block has room; never triggers nested GC."""
+        stripe = self._gc_stripe
+        if stripe is not None:
+            pbn = stripe.next_slot(self.flash, self._data_blocks.add)
+            if pbn is None or (
+                len(stripe.open_blocks) < stripe.ways
+                and len(self._pool) > 1
+            ):
+                pbn = self._pool.allocate_on(
+                    stripe.uncovered_unit(), stripe.units
+                )
+                stripe.note_open(pbn)
+            self._gc_active = pbn
+            return 0.0
         if self._gc_active is not None and self.flash.block(self._gc_active).is_full:
             self._data_blocks.add(self._gc_active)
             self._gc_active = None

@@ -226,7 +226,8 @@ class _ClassAggregate:
     """Per-op-class accumulation: histogram + cause totals + worst ops."""
 
     __slots__ = ("hist", "by_cause", "unattributed_us", "queue_us",
-                 "queue_hist", "total_us", "slowest", "_seq")
+                 "queue_hist", "channel_wait_us", "total_us", "slowest",
+                 "_seq")
 
     #: Worst ops kept per class for the tail-cause breakdown.
     TOP_K = 12
@@ -237,18 +238,26 @@ class _ClassAggregate:
         self.unattributed_us = 0.0
         self.queue_us = 0.0
         self.queue_hist = MultiResHistogram()
+        # Total per-unit queueing observed during this class's host ops
+        # on a multi-channel device (see Tracer.channel_wait); like
+        # host queueing it sits outside the service decomposition.  The
+        # per-sample distribution lives at scheme level
+        # (_SchemeLatency.channel_wait_hist) because samples arrive per
+        # raw flash op, before the op class is known.
+        self.channel_wait_us = 0.0
         self.total_us = 0.0
         # Min-heap of (dur_us, seq, parts) - the K slowest ops seen.
         self.slowest: List[Tuple[float, int, Dict[str, float]]] = []
         self._seq = 0
 
     def record(self, dur_us: float, parts: Dict[str, float],
-               unattributed: float) -> None:
+               unattributed: float, channel_wait_us: float = 0.0) -> None:
         self.hist.add(dur_us)
         self.total_us += dur_us
         for bucket, spent in parts.items():
             self.by_cause[bucket] = self.by_cause.get(bucket, 0.0) + spent
         self.unattributed_us += unattributed
+        self.channel_wait_us += channel_wait_us
         self._seq += 1
         entry = (dur_us, self._seq, dict(parts))
         if len(self.slowest) < self.TOP_K:
@@ -272,6 +281,7 @@ class _ClassAggregate:
             "attributed_fraction": self.attributed_fraction(),
             "queueing_us": round(self.queue_us, 3),
             "queueing_p99_us": self.queue_hist.quantile(0.99),
+            "channel_wait_us": round(self.channel_wait_us, 3),
             "slowest": [
                 {
                     "dur_us": round(dur, 3),
@@ -287,8 +297,9 @@ class _ClassAggregate:
 class _SchemeLatency:
     """All per-op accounting for one scheme."""
 
-    __slots__ = ("classes", "overall", "outside_us", "checked_ops",
-                 "violations", "max_residual_us")
+    __slots__ = ("classes", "overall", "outside_us",
+                 "outside_channel_wait_us", "channel_wait_hist",
+                 "checked_ops", "violations", "max_residual_us")
 
     def __init__(self) -> None:
         self.classes: Dict[str, _ClassAggregate] = {}
@@ -296,6 +307,13 @@ class _SchemeLatency:
         #: Flash time fenced off as outside any host op (idle-time
         #: background work), per bucket.
         self.outside_us: Dict[str, float] = {}
+        #: Channel wait observed during fenced-off background work.
+        self.outside_channel_wait_us = 0.0
+        #: Per-raw-op distribution of channel waits (how long a flash
+        #: command sat in its unit's queue while another unit was free);
+        #: only ops that actually waited land here, so serial devices
+        #: leave it empty.
+        self.channel_wait_hist = MultiResHistogram()
         self.checked_ops = 0
         self.violations = 0
         self.max_residual_us = 0.0
@@ -338,6 +356,7 @@ class OpLatencyRecorder:
         self.tolerance_us = tolerance_us
         self._schemes: Dict[str, _SchemeLatency] = {}
         self._pending: Dict[str, float] = {}
+        self._pending_wait = 0.0
         self._current: Optional[str] = None
         self.last_op: Optional[LastOp] = None
 
@@ -362,7 +381,7 @@ class OpLatencyRecorder:
         """Mark pending flash time as outside any host op (idle work)."""
         if scheme != self._current:
             self._switch(scheme)
-        if not self._pending:
+        if not self._pending and not self._pending_wait:
             return
         state = self._state(scheme)
         for bucket, spent in self._pending.items():
@@ -370,6 +389,9 @@ class OpLatencyRecorder:
                 state.outside_us.get(bucket, 0.0) + spent
             )
         self._pending.clear()
+        if self._pending_wait:
+            state.outside_channel_wait_us += self._pending_wait
+            self._pending_wait = 0.0
 
     def note_queue_delay(self, scheme: str, is_write: bool,
                          wait_us: float) -> None:
@@ -379,6 +401,21 @@ class OpLatencyRecorder:
                     state.overall):
             agg.queue_us += wait_us
             agg.queue_hist.add(wait_us)
+
+    def note_channel_wait(self, scheme: str, wait_us: float) -> None:
+        """Record one raw op's wait behind its busy parallel unit.
+
+        Samples arrive per raw flash op, before the op class is known:
+        each lands in the scheme-level distribution immediately, while
+        the total buffers like the cause buckets and folds into the
+        current host op's class accumulator at completion - outside the
+        service invariant (the traced ``dur_us`` already absorbs the
+        wait).
+        """
+        if scheme != self._current:
+            self._switch(scheme)
+        self._pending_wait += wait_us
+        self._state(scheme).channel_wait_hist.add(wait_us)
 
     # ------------------------------------------------------------------
     # Internals
@@ -419,8 +456,12 @@ class OpLatencyRecorder:
         if abs(residual) > state.max_residual_us:
             state.max_residual_us = abs(residual)
         unattributed = residual if residual > 0.0 else 0.0
-        self._class(state, op_class).record(dur_us, parts, unattributed)
-        state.overall.record(dur_us, parts, unattributed)
+        wait = self._pending_wait
+        if wait:
+            self._pending_wait = 0.0
+        self._class(state, op_class).record(dur_us, parts, unattributed,
+                                            wait)
+        state.overall.record(dur_us, parts, unattributed, wait)
         self.last_op = LastOp(op_class, dur_us, parts, unattributed,
                               residual)
 
@@ -454,6 +495,13 @@ class OpLatencyRecorder:
             "classes": classes,
             "outside_us": {
                 b: round(v, 3) for b, v in sorted(state.outside_us.items())
+            },
+            "channel_wait": {
+                "samples": state.channel_wait_hist.count,
+                "total_us": round(state.channel_wait_hist.total, 3),
+                "p50_us": state.channel_wait_hist.quantile(0.5),
+                "p99_us": state.channel_wait_hist.quantile(0.99),
+                "outside_us": round(state.outside_channel_wait_us, 3),
             },
             "invariant": {
                 "checked_ops": state.checked_ops,

@@ -285,6 +285,10 @@ def render_report(snapshot: Dict[str, Any]) -> str:
         queueing = overall.get("queueing_us", 0.0)
         if queueing:
             rows.append(["(queueing, on top)", queueing / 1e3, "-"])
+        channel_wait = overall.get("channel_wait_us", 0.0)
+        if channel_wait:
+            rows.append(["(channel wait, absorbed)", channel_wait / 1e3,
+                         "-"])
         lines.append("")
         lines.append(format_table(
             ["cause", "ms", "share of service time"], rows,

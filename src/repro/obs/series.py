@@ -51,7 +51,7 @@ class Window:
     __slots__ = ("index", "host_reads", "host_writes", "host_trims",
                  "page_reads", "page_programs", "block_erases",
                  "map_reads", "map_writes", "gc_runs", "converts",
-                 "gc_copy_pages", "time_by_cause")
+                 "gc_copy_pages", "channel_wait_us", "time_by_cause")
 
     def __init__(self, index: int):
         self.index = index
@@ -66,6 +66,9 @@ class Window:
         self.gc_runs = 0
         self.converts = 0
         self.gc_copy_pages = 0
+        # Stripe-imbalance wait on a multi-channel device (see
+        # Tracer.channel_wait); 0.0 on serial devices.
+        self.channel_wait_us = 0.0
         self.time_by_cause: Dict[str, float] = {}
 
     @property
@@ -99,6 +102,7 @@ class Window:
             "converts": self.converts,
             "waf": waf,
             "gc_debt_pages": self.gc_copy_pages,
+            "channel_wait_us": round(self.channel_wait_us, 3),
             "map_hit_rate": map_hit,
             "erase_variance": erase_variance,
             "flash_time_us": round(flash_us, 3),
@@ -151,19 +155,32 @@ class SeriesCollector(TraceSink):
     # Sink interface
     # ------------------------------------------------------------------
     def emit(self, event: TraceEvent) -> None:
-        state = self._schemes.get(event.scheme)
+        window, state = self._window_at(event.scheme, event.ts)
+        self._accumulate(window, state, event)
+
+    def channel_wait(self, scheme: str, ts: float, wait_us: float) -> None:
+        """Fold one stripe-imbalance wait sample into its window.
+
+        Called by the tracer's channel-wait fan-out (multi-channel
+        devices only); not part of the :class:`TraceSink` event
+        interface, so plain sinks never see these samples.
+        """
+        window, _ = self._window_at(scheme, ts)
+        window.channel_wait_us += wait_us
+
+    def _window_at(self, scheme: str, ts: float):
+        """Resolve (window, state) for a timestamp, closing as needed."""
+        state = self._schemes.get(scheme)
         if state is None:
-            state = self._schemes[event.scheme] = _SchemeSeries(
-                self.capacity
-            )
-        index = int(event.ts // self.window_us)
+            state = self._schemes[scheme] = _SchemeSeries(self.capacity)
+        index = int(ts // self.window_us)
         window = state.current
         if window is None:
             window = state.current = Window(index)
         elif index > window.index:
             self._close_through(state, index)
             window = state.current
-        self._accumulate(window, state, event)
+        return window, state
 
     def _close_through(self, state: _SchemeSeries, index: int) -> None:
         """Close the current window and any empty gap windows before

@@ -58,6 +58,13 @@ class Tracer:
         latency: Optional["OpLatencyRecorder"] = None,
     ):
         self.sinks: List[TraceSink] = list(sinks)
+        # Sinks opting into channel-wait samples (multi-channel devices
+        # only emit them when striping is active) declare a
+        # ``channel_wait(scheme, ts, wait_us)`` method; resolved once so
+        # the per-op fan-out is a plain list walk.
+        self._wait_sinks = [
+            sink for sink in self.sinks if hasattr(sink, "channel_wait")
+        ]
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.attribution = AttributionSink()
         self.latency = latency
@@ -194,6 +201,24 @@ class Tracer:
         """Record one request's open-loop wait behind the busy device."""
         if self.enabled and self.latency is not None:
             self.latency.note_queue_delay(self.scheme, is_write, wait_us)
+
+    def channel_wait(self, wait_us: float) -> None:
+        """Record time a raw op waited on its busy parallel unit.
+
+        Emitted by :class:`~repro.flash.parallel.ParallelNandFlash` for
+        ops that started after the least-busy unit was already free -
+        the time lost to stripe imbalance.  Like queueing it sits
+        *outside* the per-op service decomposition (the op's traced
+        ``dur_us`` is its marginal makespan contribution, which already
+        absorbs the wait), so it lands in its own recorder bucket and
+        window counter rather than a cause bucket.
+        """
+        if not self.enabled:
+            return
+        if self.latency is not None:
+            self.latency.note_channel_wait(self.scheme, wait_us)
+        for sink in self._wait_sinks:
+            sink.channel_wait(self.scheme, self.clock, wait_us)
 
     # ------------------------------------------------------------------
     # Spans (GC / merge / convert)

@@ -697,14 +697,22 @@ def engine_for(ftl: FlashTranslationLayer) -> Optional["BatchEngine"]:
     Ineligible (replay stays scalar): unregistered scheme, a flash
     subclass (the sanitizer wraps every raw op), an attached tracer, an
     armed power-fault injector (program counting must see every op), a
-    powered-off device, or a timing model with non-integer-valued
-    latencies (bulk ``n * latency`` would not be bit-exact).
+    powered-off device, a multi-unit geometry (striped frontiers break
+    the planners' single-frontier arithmetic), or a timing model with
+    non-integer-valued latencies (bulk ``n * latency`` would not be
+    bit-exact).
     """
     planner_cls = PLANNERS.get(type(ftl))
     if planner_cls is None:
         return None
     flash = ftl.flash
     if not flash.maintenance_fast_path():
+        return None
+    if flash.geometry.parallel_units > 1:
+        # Striped FTLs rotate writes across several open frontier
+        # blocks; the planners model a single frontier per area.
+        # (ParallelNandFlash is already excluded as a subclass above -
+        # this also covers a plain NandFlash on a multi-unit geometry.)
         return None
     if ftl._tracer is not None:
         return None

@@ -84,6 +84,9 @@ def standard_setup(
     timing: TimingModel = SLC_TIMING,
     sanitize: bool = False,
     tracer: Any = None,
+    channels: int = 1,
+    dies: int = 1,
+    planes: int = 1,
     **options: Any,
 ) -> Tuple[NandFlash, Any, int]:
     """Build a (flash, ftl, logical_pages) triple with shared defaults.
@@ -99,6 +102,14 @@ def standard_setup(
     shadow map + :meth:`audit`); any NAND-contract breach raises a
     structured :class:`~repro.checks.SanitizerViolation`.
 
+    ``channels``/``dies``/``planes`` select the device parallelism; with
+    more than one parallel unit the device is a
+    :class:`~repro.flash.ParallelNandFlash` (overlapped per-unit command
+    timing) and striping-capable schemes (LazyFTL, DFTL, ideal) spread
+    their frontier allocation across the units.  The default ``1x1x1``
+    builds the plain serial device, bit-identical to before the knob
+    existed.
+
     A ``tracer`` (:class:`~repro.obs.Tracer`) is attached before the FTL
     is returned, so construction-time flash traffic and direct host calls
     are observable without going through the simulator.
@@ -109,13 +120,23 @@ def standard_setup(
         num_blocks=num_blocks,
         pages_per_block=pages_per_block,
         page_size=page_size,
+        channels=channels,
+        dies=dies,
+        planes=planes,
     )
+    parallel = geometry.parallel_units > 1 or planes > 1
     if sanitize:
         from ..checks import SanitizedFTL, SanitizedNandFlash
+        from ..checks.flashsan import SanitizedParallelNandFlash
 
-        flash = SanitizedNandFlash(geometry, timing=timing)
+        device_cls = SanitizedParallelNandFlash if parallel \
+            else SanitizedNandFlash
+        flash = device_cls(geometry, timing=timing)
     else:
-        flash = NandFlash(geometry, timing=timing)
+        from ..flash import ParallelNandFlash
+
+        device_cls = ParallelNandFlash if parallel else NandFlash
+        flash = device_cls(geometry, timing=timing)
     logical_pages = int(geometry.total_pages * logical_fraction)
     ftl = build_ftl(scheme, flash, logical_pages, **options)
     if sanitize:

@@ -36,6 +36,23 @@ GOLDEN_DEVICE = DeviceSpec(
     logical_fraction=0.7,
 )
 
+#: The same device striped over four channels: pins down the parallel
+#: model (striped placement + overlap timing) for the schemes that opt
+#: into frontier striping.  Kept in a *separate* snapshot file
+#: (``engine_stats_4ch.json``) so the serial snapshot's exact key-set
+#: check keeps certifying that 1x1x1 behaviour never moved.
+GOLDEN_DEVICE_4CH = DeviceSpec(
+    num_blocks=96,
+    pages_per_block=16,
+    page_size=512,
+    logical_fraction=0.7,
+    channels=4,
+)
+
+#: Schemes whose area managers stripe frontier allocation across
+#: parallel units (the rest are serial-only baselines).
+STRIPED_SCHEMES = ("ideal", "DFTL", "LazyFTL")
+
 
 def golden_traces():
     """The two deterministic traces every scheme replays for the digest.
@@ -90,6 +107,27 @@ def collect_golden_digests(
         for scheme in schemes:
             result = run_scheme(
                 scheme, trace, device=GOLDEN_DEVICE, precondition="steady",
+            )
+            digests[f"{scheme}/{trace.name}"] = engine_digest(result)
+    return digests
+
+
+def collect_golden_digests_4ch(
+    schemes: Sequence[str] = STRIPED_SCHEMES,
+) -> Dict[str, Dict[str, object]]:
+    """Golden digests on the 4-channel device for striping schemes.
+
+    Same workload as :func:`collect_golden_digests`, replayed on
+    :data:`GOLDEN_DEVICE_4CH`: pins striped placement and overlapped
+    service latencies (``device_busy_us`` drops well below the serial
+    figure while flash wear counters stay workload-determined).
+    """
+    digests: Dict[str, Dict[str, object]] = {}
+    for trace in golden_traces():
+        for scheme in schemes:
+            result = run_scheme(
+                scheme, trace, device=GOLDEN_DEVICE_4CH,
+                precondition="steady",
             )
             digests[f"{scheme}/{trace.name}"] = engine_digest(result)
     return digests

@@ -28,6 +28,9 @@ class DeviceSpec:
     page_size: int = 2048
     logical_fraction: float = 0.85
     timing: TimingModel = SLC_TIMING
+    channels: int = 1
+    dies: int = 1
+    planes: int = 1
 
     @property
     def logical_pages(self) -> int:
@@ -126,6 +129,9 @@ def run_scheme(
         logical_fraction=device.logical_fraction,
         timing=device.timing,
         sanitize=sanitize,
+        channels=device.channels,
+        dies=device.dies,
+        planes=device.planes,
         **opts,
     )
     footprint = min(trace.max_lpn + 1, logical_pages)

@@ -11,7 +11,12 @@ import random
 
 import pytest
 
-from repro.flash import FlashGeometry, NandFlash, UNIT_TIMING
+from repro.flash import (
+    FlashGeometry,
+    NandFlash,
+    ParallelNandFlash,
+    UNIT_TIMING,
+)
 
 
 class FTLConformance:
@@ -33,15 +38,30 @@ class FTLConformance:
     def make_ftl(self, flash):  # pragma: no cover - overridden
         raise NotImplementedError
 
+    def new_device(self, sanitize=False):
+        """Fresh device for :attr:`GEOMETRY` - parallel when it says so."""
+        parallel = self.GEOMETRY.parallel_units > 1
+        if sanitize:
+            from repro.checks import (
+                SanitizedNandFlash,
+                SanitizedParallelNandFlash,
+            )
+
+            cls = (SanitizedParallelNandFlash if parallel
+                   else SanitizedNandFlash)
+        else:
+            cls = ParallelNandFlash if parallel else NandFlash
+        return cls(self.GEOMETRY, timing=UNIT_TIMING)
+
     def new_ftl(self):
         if self.SANITIZE:
-            from repro.checks import SanitizedFTL, SanitizedNandFlash
+            from repro.checks import SanitizedFTL
 
-            flash = SanitizedNandFlash(self.GEOMETRY, timing=UNIT_TIMING)
+            flash = self.new_device(sanitize=True)
             ftl = self.make_ftl(flash)
             flash.enforce_sequential = not ftl.requires_random_program
             return SanitizedFTL(ftl)
-        flash = NandFlash(self.GEOMETRY, timing=UNIT_TIMING)
+        flash = self.new_device()
         ftl = self.make_ftl(flash)
         flash.enforce_sequential = not ftl.requires_random_program
         return ftl
@@ -148,10 +168,10 @@ class FTLConformance:
             supports_recovery,
         )
 
-        # A plain device, even for SANITIZE subclasses: the sanitizer
-        # wrapper keeps RAM shadow state that legitimately dies with the
-        # power, so recovery always starts from the raw chip.
-        flash = NandFlash(self.GEOMETRY, timing=UNIT_TIMING)
+        # An unsanitized device, even for SANITIZE subclasses: the
+        # sanitizer wrapper keeps RAM shadow state that legitimately dies
+        # with the power, so recovery always starts from the raw chip.
+        flash = self.new_device()
         ftl = self.make_ftl(flash)
         flash.enforce_sequential = not ftl.requires_random_program
         rng = random.Random(4242)

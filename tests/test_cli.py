@@ -41,6 +41,31 @@ class TestCommands:
         assert "LazyFTL" in out
         assert "vs theoretically optimal" in out
 
+    def test_compare_with_geometry(self, capsys):
+        rc = main([
+            "compare", "--trace", "random", "--requests", "300",
+            "--schemes", "LazyFTL", "ideal", "--geometry", "2x1x1",
+            *SMALL_DEVICE,
+        ])
+        assert rc == 0
+        assert "LazyFTL" in capsys.readouterr().out
+
+    def test_bad_geometry_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "compare", "--trace", "random", "--requests", "100",
+                "--geometry", "nonsense", *SMALL_DEVICE,
+            ])
+
+    def test_crashcheck_geometry(self, capsys):
+        rc = main([
+            "crashcheck", "--scheme", "LazyFTL", "--ops", "60",
+            "--geometry", "2x1x1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "crash points explored" in out
+
     def test_characterize(self, capsys):
         rc = main([
             "characterize", "--trace", "tpcc", "--requests", "500",

@@ -13,6 +13,7 @@ import pytest
 from repro.checks.crashmc import (
     CrashCase,
     CrashReport,
+    DeviceParams,
     DurabilityViolation,
     ShadowModel,
     check_case,
@@ -165,6 +166,34 @@ class TestExplore:
         with pytest.raises((ValueError, SweepWorkerError)):
             explore("BAST", num_ops=10, seed=0)
 
+    @pytest.mark.parametrize("scheme", ["LazyFTL", "ideal"])
+    def test_two_channel_every_boundary_survives(self, scheme):
+        """Crash anywhere on a striped 2-channel device; recovery must
+        rebuild the striped frontiers and preserve durability.
+
+        The crash cuts land at per-channel program/erase boundaries (the
+        striped frontiers interleave blocks across units), so mid-stripe
+        states - one channel's frontier a page ahead of the other's -
+        are exactly what the recovery scan replays through.
+        """
+        report = explore(scheme, num_ops=80, seed=5,
+                         device=DeviceParams(channels=2))
+        assert report.boundaries > 20
+        assert len(report.results) == report.boundaries + 1
+        assert report.ok, [str(v) for r in report.failures
+                           for v in r.violations]
+
+    def test_two_channel_mutation_detected(self):
+        device = DeviceParams(channels=2)
+        probe = CrashCase(scheme="LazyFTL", crash_index=0, seed=0,
+                          num_ops=80, mutate=True, device=device)
+        n = count_boundaries(probe)
+        result = check_case(CrashCase(scheme="LazyFTL",
+                                      crash_index=max(0, n - 1),
+                                      seed=0, num_ops=80, mutate=True,
+                                      device=device))
+        assert result.mutated and not result.ok
+
 
 # ----------------------------------------------------------------------
 # Reproducer strings
@@ -196,6 +225,21 @@ class TestReproducer:
             CrashCase.from_reproducer("crashmc:v1:seed=1:crash=0")
         with pytest.raises(ValueError, match="malformed"):
             CrashCase.from_reproducer("crashmc:v1:scheme=ideal:junk:crash=0")
+
+    def test_device_key_round_trips_geometry(self):
+        serial = DeviceParams()
+        assert serial.key() == "40x8x64/96"  # historical form unchanged
+        assert DeviceParams.parse(serial.key()) == serial
+        striped = DeviceParams(channels=2)
+        assert striped.key() == "40x8x64/96@2x1x1"
+        assert DeviceParams.parse(striped.key()) == striped
+
+    def test_round_trip_with_geometry(self):
+        case = CrashCase(scheme="LazyFTL", crash_index=9, seed=3,
+                         num_ops=50, device=DeviceParams(channels=2))
+        text = case.reproducer()
+        assert "dev=40x8x64/96@2x1x1" in text
+        assert CrashCase.from_reproducer(text) == case
 
 
 # ----------------------------------------------------------------------

@@ -25,6 +25,8 @@ from repro.perf import batch
 from repro.sim.factory import SCHEMES
 from repro.sim.golden import (
     GOLDEN_DEVICE,
+    GOLDEN_DEVICE_4CH,
+    STRIPED_SCHEMES,
     collect_golden_digests,
     engine_digest,
     golden_traces,
@@ -34,11 +36,20 @@ from repro.sim.runner import run_scheme
 GOLDEN_PATH = (
     pathlib.Path(__file__).resolve().parent / "golden" / "engine_stats.json"
 )
+GOLDEN_4CH_PATH = (
+    pathlib.Path(__file__).resolve().parent / "golden"
+    / "engine_stats_4ch.json"
+)
 
 
 @pytest.fixture(scope="module")
 def golden():
     return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def golden_4ch():
+    return json.loads(GOLDEN_4CH_PATH.read_text())
 
 
 def test_snapshot_covers_every_scheme_and_trace(golden):
@@ -77,6 +88,39 @@ def test_scheme_stats_bit_identical(golden, scheme, gate):
             )
     finally:
         batch.set_backend("auto")
+
+
+def test_4ch_snapshot_covers_every_striped_scheme(golden_4ch):
+    expected = {
+        f"{scheme}/{trace.name}"
+        for trace in golden_traces()
+        for scheme in STRIPED_SCHEMES
+    }
+    assert set(golden_4ch) == expected
+
+
+@pytest.mark.parametrize("scheme", STRIPED_SCHEMES)
+def test_4ch_scheme_stats_bit_identical(golden, golden_4ch, scheme):
+    """Striped-scheme digests on the 4-channel device match the snapshot.
+
+    Only the scalar path runs here: multi-unit geometries disqualify the
+    batch-replay planners (striped frontiers rotate between blocks the
+    planners model as one), so ``replay_mode="batched"`` falls back to
+    the same scalar loop.  Each digest is also cross-checked against the
+    serial snapshot: strictly less device-busy time - the whole point of
+    the channels.
+    """
+    for trace in golden_traces():
+        key = f"{scheme}/{trace.name}"
+        live = engine_digest(run_scheme(
+            scheme, trace, device=GOLDEN_DEVICE_4CH, precondition="steady",
+        ))
+        assert live == golden_4ch[key], (
+            f"{key} [4ch]: engine statistics drifted from the 4-channel "
+            "golden snapshot - a change altered striped placement or "
+            "overlap timing"
+        )
+        assert live["device_busy_us"] < golden[key]["device_busy_us"]
 
 
 def test_collector_key_shape(golden):

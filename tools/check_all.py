@@ -209,8 +209,10 @@ def step_batchdiff(config: dict) -> bool:
 def step_crashmc(config: dict) -> bool:
     """Crash-consistency smoke: explore every boundary of a short mixed
     workload for each recovery-capable scheme, then run the --mutate
-    oracle self-test (the checker must flag deliberate corruption).  The
-    exhaustive acceptance matrix is ``repro crashcheck --full``."""
+    oracle self-test (the checker must flag deliberate corruption), then
+    re-explore LazyFTL on a 2-channel device so recovery is exercised
+    against striped frontiers.  The exhaustive acceptance matrix is
+    ``repro crashcheck --full``."""
     ops = str(config["crashmc_ops"])
     explored = run_step("crashmc:explore", [
         sys.executable, "-m", "repro", "crashcheck",
@@ -219,10 +221,17 @@ def step_crashmc(config: dict) -> bool:
     ])
     if not explored:
         return False
-    return run_step("crashmc:mutate", [
+    mutated = run_step("crashmc:mutate", [
         sys.executable, "-m", "repro", "crashcheck",
         "--scheme", "LazyFTL", "--scheme", "ideal",
         "--ops", ops, "--mutate",
+    ])
+    if not mutated:
+        return False
+    return run_step("crashmc:2ch", [
+        sys.executable, "-m", "repro", "crashcheck",
+        "--scheme", "LazyFTL", "--ops", ops,
+        "--geometry", "2x1x1",
     ])
 
 

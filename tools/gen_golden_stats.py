@@ -21,18 +21,30 @@ import sys
 _REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(_REPO_ROOT / "src"))
 
-from repro.sim.golden import collect_golden_digests  # noqa: E402
+from repro.sim.golden import (  # noqa: E402
+    collect_golden_digests,
+    collect_golden_digests_4ch,
+)
 
 GOLDEN_PATH = _REPO_ROOT / "tests" / "golden" / "engine_stats.json"
+GOLDEN_4CH_PATH = _REPO_ROOT / "tests" / "golden" / "engine_stats_4ch.json"
+
+
+def _write(path: pathlib.Path, digests: dict) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(digests, stream, indent=1, sort_keys=True)
+        stream.write("\n")
+    print(f"wrote {len(digests)} digests to {path}")
 
 
 def main() -> int:
-    digests = collect_golden_digests()
-    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
-    with open(GOLDEN_PATH, "w", encoding="utf-8") as stream:
-        json.dump(digests, stream, indent=1, sort_keys=True)
-        stream.write("\n")
-    print(f"wrote {len(digests)} digests to {GOLDEN_PATH}")
+    # Two snapshot files on purpose: the serial one keeps its exact
+    # key set (its test asserts key-set equality, so adding 4-channel
+    # digests there would break the seed gate), the 4-channel one pins
+    # the striped/overlapped engine for the schemes that opt in.
+    _write(GOLDEN_PATH, collect_golden_digests())
+    _write(GOLDEN_4CH_PATH, collect_golden_digests_4ch())
     return 0
 
 
